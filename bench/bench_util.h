@@ -1,0 +1,115 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary in bench/ regenerates one artefact of the paper's evaluation
+// (see DESIGN.md's experiment index) and prints the same rows/series the
+// paper reports. Absolute numbers come from the simulator and differ from
+// the authors' testbed; the shapes are the reproduction target.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+#include "src/harness/sm_tuner.h"
+#include "src/trace/request_rates.h"
+
+namespace orion {
+namespace bench {
+
+// Measurement window used by the collocation benches. Long enough for a few
+// hundred inference requests and dozens of training iterations per run.
+constexpr DurationUs kWarmupUs = SecToUs(1.0);
+constexpr DurationUs kDurationUs = SecToUs(15.0);
+
+inline harness::ClientConfig InferenceClient(workloads::ModelId model,
+                                             harness::ClientConfig::Arrivals arrivals,
+                                             double rps, bool high_priority) {
+  harness::ClientConfig client;
+  client.workload = workloads::MakeWorkload(model, workloads::TaskType::kInference);
+  client.high_priority = high_priority;
+  client.arrivals = arrivals;
+  client.rps = rps;
+  return client;
+}
+
+inline harness::ClientConfig TrainingClient(workloads::ModelId model, bool high_priority) {
+  harness::ClientConfig client;
+  client.workload = workloads::MakeWorkload(model, workloads::TaskType::kTraining);
+  client.high_priority = high_priority;
+  client.arrivals = harness::ClientConfig::Arrivals::kClosedLoop;
+  return client;
+}
+
+inline harness::ExperimentResult RunPair(const harness::ClientConfig& hp,
+                                         const harness::ClientConfig& be,
+                                         harness::SchedulerKind scheduler,
+                                         const gpusim::DeviceSpec& device =
+                                             gpusim::DeviceSpec::V100_16GB(),
+                                         const core::OrionOptions& orion_options = {}) {
+  harness::ExperimentConfig config;
+  config.device = device;
+  config.scheduler = scheduler;
+  config.orion = orion_options;
+  config.warmup_us = kWarmupUs;
+  config.duration_us = kDurationUs;
+  config.clients = {hp, be};
+  return harness::RunExperiment(config);
+}
+
+// Orion options for a collocation: when the high-priority job is
+// throughput-oriented (training), tune SM_THRESHOLD with the §5.1.1 binary
+// search (the paper does the same for the train-train experiments);
+// otherwise keep the conservative defaults.
+inline core::OrionOptions OrionOptionsFor(const harness::ClientConfig& hp,
+                                          const harness::ClientConfig& be,
+                                          const gpusim::DeviceSpec& device =
+                                              gpusim::DeviceSpec::V100_16GB()) {
+  core::OrionOptions options;
+  // §5.1.1: SM_THRESHOLD is tuned when the high-priority job is
+  // throughput-oriented — training, or closed-loop inference (Fig. 2).
+  const bool throughput_oriented =
+      hp.workload.task == workloads::TaskType::kTraining ||
+      hp.arrivals == harness::ClientConfig::Arrivals::kClosedLoop;
+  if (!throughput_oriented) {
+    return options;
+  }
+  harness::ExperimentConfig config;
+  config.device = device;
+  config.scheduler = harness::SchedulerKind::kOrion;
+  config.warmup_us = kWarmupUs;
+  config.clients = {hp, be};
+  options.sm_threshold = harness::TuneSmThreshold(config).best_threshold;
+  return options;
+}
+
+// Best-effort throughput of a two-client result.
+inline double BeThroughput(const harness::ExperimentResult& result) {
+  double throughput = 0.0;
+  for (const auto& client : result.clients) {
+    if (!client.high_priority) {
+      throughput += client.throughput_rps;
+    }
+  }
+  return throughput;
+}
+
+inline void PrintHeader(const std::string& artefact, const std::string& title) {
+  std::cout << "\n=== " << artefact << ": " << title << " ===\n"
+            << "(simulated V100 unless stated; shapes, not absolute numbers, "
+               "are the reproduction target)\n\n";
+}
+
+// All five models in the paper's order.
+inline std::vector<workloads::ModelId> AllModels() {
+  return {workloads::ModelId::kResNet50, workloads::ModelId::kMobileNetV2,
+          workloads::ModelId::kResNet101, workloads::ModelId::kBert,
+          workloads::ModelId::kTransformer};
+}
+
+}  // namespace bench
+}  // namespace orion
+
+#endif  // BENCH_BENCH_UTIL_H_

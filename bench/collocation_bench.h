@@ -1,0 +1,107 @@
+// Shared driver for the inf-train (Figures 6-7) and inf-inf (Figures 11-12)
+// collocation matrices: every high-priority model is collocated with every
+// partner workload under every sharing technique; we report the p99 latency
+// of the high-priority job (mean and spread across partners, like the
+// paper's error bars) and the throughput split.
+#ifndef BENCH_COLLOCATION_BENCH_H_
+#define BENCH_COLLOCATION_BENCH_H_
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace orion {
+namespace bench {
+
+inline const std::vector<harness::SchedulerKind>& CollocationSchedulers() {
+  static const std::vector<harness::SchedulerKind> kSchedulers = {
+      harness::SchedulerKind::kDedicated, harness::SchedulerKind::kTemporal,
+      harness::SchedulerKind::kStreams,   harness::SchedulerKind::kMps,
+      harness::SchedulerKind::kReef,      harness::SchedulerKind::kOrion,
+  };
+  return kSchedulers;
+}
+
+struct MatrixOptions {
+  // Arrival process + per-model rates for the high-priority inference job.
+  harness::ClientConfig::Arrivals hp_arrivals = harness::ClientConfig::Arrivals::kPoisson;
+  trace::CollocationCase rate_case = trace::CollocationCase::kInfTrainPoisson;
+  // Partner workloads: training jobs (inf-train) or inference jobs (inf-inf).
+  bool partners_are_training = true;
+  // Best-effort inference arrivals (inf-inf only).
+  harness::ClientConfig::Arrivals be_arrivals = harness::ClientConfig::Arrivals::kUniform;
+  trace::CollocationCase be_rate_case = trace::CollocationCase::kInfInfUniform;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
+};
+
+// Runs the full matrix and prints one table per high-priority model plus a
+// cross-model summary of p99-vs-ideal ratios.
+inline void RunCollocationMatrix(const MatrixOptions& options) {
+  OnlineStats orion_vs_ideal;
+  OnlineStats reef_vs_ideal;
+
+  for (auto hp_model : AllModels()) {
+    const double hp_rps = trace::RequestsPerSecond(hp_model, options.rate_case);
+    const harness::ClientConfig hp =
+        InferenceClient(hp_model, options.hp_arrivals, hp_rps, /*high_priority=*/true);
+
+    // Partner set: all models except (for inf-inf) the hp model itself.
+    std::vector<harness::ClientConfig> partners;
+    for (auto be_model : AllModels()) {
+      if (options.partners_are_training) {
+        partners.push_back(TrainingClient(be_model, false));
+      } else if (be_model != hp_model) {
+        partners.push_back(InferenceClient(be_model, options.be_arrivals,
+                                           trace::RequestsPerSecond(be_model,
+                                                                    options.be_rate_case),
+                                           false));
+      }
+    }
+
+    std::cout << "-- high-priority: " << workloads::WorkloadName(hp.workload) << " @ "
+              << hp_rps << " rps (mean across " << partners.size() << " collocated "
+              << (options.partners_are_training ? "training" : "inference") << " jobs)\n";
+
+    Table table({"technique", "p99_ms_mean", "p99_ms_std", "p99_vs_ideal", "hp_tput_rps",
+                 "be_tput_mean"});
+    double ideal_p99 = 0.0;
+    for (const auto scheduler : CollocationSchedulers()) {
+      OnlineStats p99;
+      OnlineStats hp_tput;
+      OnlineStats be_tput;
+      for (const auto& be : partners) {
+        const auto result = RunPair(hp, be, scheduler, options.device);
+        p99.Add(UsToMs(result.hp().latency.p99()));
+        hp_tput.Add(result.hp().throughput_rps);
+        be_tput.Add(BeThroughput(result));
+      }
+      if (scheduler == harness::SchedulerKind::kDedicated) {
+        ideal_p99 = p99.mean();
+      }
+      const double ratio = ideal_p99 > 0 ? p99.mean() / ideal_p99 : 0.0;
+      if (scheduler == harness::SchedulerKind::kOrion) {
+        orion_vs_ideal.Add(ratio);
+      }
+      if (scheduler == harness::SchedulerKind::kReef) {
+        reef_vs_ideal.Add(ratio);
+      }
+      table.AddRow({harness::SchedulerKindName(scheduler), Cell(p99.mean(), 2),
+                    Cell(p99.stddev(), 2), Cell(ratio, 2), Cell(hp_tput.mean(), 1),
+                    Cell(be_tput.mean(), 2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "summary across all high-priority models:\n"
+            << "  Orion p99 / ideal: mean " << Cell(orion_vs_ideal.mean(), 2) << "x (max "
+            << Cell(orion_vs_ideal.max(), 2) << "x)\n"
+            << "  REEF  p99 / ideal: mean " << Cell(reef_vs_ideal.mean(), 2) << "x (max "
+            << Cell(reef_vs_ideal.max(), 2) << "x)\n";
+}
+
+}  // namespace bench
+}  // namespace orion
+
+#endif  // BENCH_COLLOCATION_BENCH_H_

@@ -1,0 +1,50 @@
+// Extension bench (paper §5.1.3): PCIe-aware memory-operation scheduling.
+//
+// Orion submits memory ops directly to the device; the paper notes it could
+// additionally schedule each cudaMemcpy by PCIe bandwidth demand. This bench
+// measures the effect: a high-priority vision inference job (whose every
+// request starts with an input H2D copy) collocated with a data-heavy
+// best-effort training job (large per-iteration input copies). With FIFO
+// copies the inference input can queue behind a multi-megabyte training
+// batch; priority scheduling lets it jump the queue.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace orion;
+
+namespace {
+
+harness::ExperimentResult Run(bool pcie_priority) {
+  harness::ExperimentConfig config;
+  config.scheduler = harness::SchedulerKind::kOrion;
+  config.pcie_priority_scheduling = pcie_priority;
+  config.warmup_us = bench::kWarmupUs;
+  config.duration_us = bench::kDurationUs;
+  config.clients.push_back(bench::InferenceClient(
+      workloads::ModelId::kResNet50, harness::ClientConfig::Arrivals::kPoisson, 40.0, true));
+  // Large-batch vision training: ~38 MB input copy per iteration (~3 ms on
+  // PCIe 3.0), the worst realistic queue-blocker.
+  config.clients.push_back(bench::TrainingClient(workloads::ModelId::kMobileNetV2, false));
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension (Section 5.1.3)", "PCIe-aware copy scheduling");
+
+  const auto fifo = Run(false);
+  const auto prio = Run(true);
+
+  Table table({"copy_engine", "hp_p50_ms", "hp_p99_ms", "be_it/s"});
+  table.AddRow({"FIFO (default)", Cell(UsToMs(fifo.hp().latency.p50()), 2),
+                Cell(UsToMs(fifo.hp().latency.p99()), 2), Cell(bench::BeThroughput(fifo), 2)});
+  table.AddRow({"priority-aware", Cell(UsToMs(prio.hp().latency.p50()), 2),
+                Cell(UsToMs(prio.hp().latency.p99()), 2), Cell(bench::BeThroughput(prio), 2)});
+  table.Print(std::cout);
+  std::cout << "\nPriority-aware copies remove the head-of-line blocking a best-effort\n"
+               "job's bulk input transfers impose on the high-priority job's input copy\n"
+               "(in-flight transfers still complete; only queued order changes).\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Example: packing a training-job queue onto fewer GPUs (the paper's
+// train-train use case, §6.2.2).
+//
+// A small research cluster has a queue of fine-tuning jobs, each needing a
+// fixed number of iterations. Running them one GPU each is fast but
+// expensive; running them sequentially on one GPU is cheap but slow. Orion
+// offers a third option: collocate a high-priority job with a best-effort
+// job on one GPU, preserving the high-priority job's speed while the
+// best-effort job soaks up leftover capacity. This example sizes all three
+// options and prints the GPU-hours bill.
+
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+
+using namespace orion;
+
+namespace {
+
+struct Job {
+  workloads::ModelId model;
+  double iterations;
+};
+
+double DedicatedRate(workloads::ModelId model) {
+  harness::ExperimentConfig config;
+  config.scheduler = harness::SchedulerKind::kDedicated;
+  config.duration_us = SecToUs(10.0);
+  harness::ClientConfig client;
+  client.workload = workloads::MakeWorkload(model, workloads::TaskType::kTraining);
+  client.high_priority = true;
+  config.clients = {client};
+  return harness::RunExperiment(config).hp().throughput_rps;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Training-queue packing with Orion (all rates from simulation)\n\n";
+
+  const std::vector<Job> queue = {
+      {workloads::ModelId::kResNet50, 20000},
+      {workloads::ModelId::kMobileNetV2, 20000},
+      {workloads::ModelId::kResNet101, 10000},
+      {workloads::ModelId::kTransformer, 10000},
+  };
+
+  // Option A: one GPU per job (4 GPUs).
+  double max_hours_a = 0.0;
+  double gpu_hours_a = 0.0;
+  std::vector<double> dedicated_rates;
+  for (const Job& job : queue) {
+    const double rate = DedicatedRate(job.model);
+    dedicated_rates.push_back(rate);
+    const double hours = job.iterations / rate / 3600.0;
+    gpu_hours_a += hours;
+    max_hours_a = std::max(max_hours_a, hours);
+  }
+
+  // Option B: all jobs sequentially on one GPU.
+  double hours_b = gpu_hours_a;  // same total work, one GPU
+
+  // Option C: two GPUs, each collocating a pair under Orion (hp = the job
+  // with more remaining work).
+  double hours_c = 0.0;
+  for (std::size_t pair = 0; pair + 1 < queue.size(); pair += 2) {
+    harness::ExperimentConfig config;
+    config.scheduler = harness::SchedulerKind::kOrion;
+    config.duration_us = SecToUs(12.0);
+    harness::ClientConfig hp;
+    hp.workload = workloads::MakeWorkload(queue[pair].model, workloads::TaskType::kTraining);
+    hp.high_priority = true;
+    harness::ClientConfig be;
+    be.workload =
+        workloads::MakeWorkload(queue[pair + 1].model, workloads::TaskType::kTraining);
+    config.clients = {hp, be};
+    const auto result = harness::RunExperiment(config);
+    double hp_rate = result.hp().throughput_rps;
+    double be_rate = 0.0;
+    for (const auto& client : result.clients) {
+      if (!client.high_priority) {
+        be_rate = client.throughput_rps;
+      }
+    }
+    // Time until both jobs of the pair finish (finishing job's leftover runs
+    // at dedicated speed).
+    const double t_hp = queue[pair].iterations / hp_rate;
+    const double t_be = queue[pair + 1].iterations / be_rate;
+    double pair_time;
+    if (t_hp >= t_be) {
+      const double done = t_be * hp_rate;
+      pair_time = t_be + (queue[pair].iterations - done) / dedicated_rates[pair];
+    } else {
+      const double done = t_hp * be_rate;
+      pair_time = t_hp + (queue[pair + 1].iterations - done) / dedicated_rates[pair + 1];
+    }
+    hours_c = std::max(hours_c, pair_time / 3600.0);
+  }
+
+  Table table({"plan", "GPUs", "wall_hours", "GPU_hours"});
+  table.AddRow({"A: one GPU per job", Cell(static_cast<int>(queue.size())),
+                Cell(max_hours_a, 2), Cell(gpu_hours_a, 2)});
+  table.AddRow({"B: sequential on 1 GPU", Cell(1), Cell(hours_b, 2), Cell(hours_b, 2)});
+  table.AddRow({"C: Orion pairs on 2 GPUs", Cell(2), Cell(hours_c, 2),
+                Cell(2.0 * hours_c, 2)});
+  table.Print(std::cout);
+  std::cout << "\nOrion's pairing (C) approaches plan A's wall-clock at roughly half the\n"
+               "GPU bill — the §6.2.2 makespan/cost result, as a capacity-planning tool.\n";
+  return 0;
+}

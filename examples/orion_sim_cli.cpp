@@ -1,0 +1,221 @@
+// Command-line collocation runner.
+//
+// Runs an arbitrary two-or-more-client collocation from the command line and
+// prints per-client latency/throughput plus GPU utilization:
+//
+//   orion_sim_cli --scheduler=orion --device=v100 --client=resnet50:inf:poisson:15:hp
+//                 --client=mobilenetv2:train
+//
+// Client syntax:  model:task[:arrivals[:rps]][:hp][:swap]
+//   model     resnet50 | mobilenetv2 | resnet101 | bert | transformer | llm
+//   task      inf | train
+//   arrivals  closed | poisson | uniform | apollo   (default: closed)
+//   rps       arrival rate (required for open-loop arrivals)
+//   hp        mark as the high-priority client
+//   swap      allow layer-by-layer swapping (§5.1.3)
+// Scheduler: ideal | mig | temporal | streams | mps | reef | ticktock | orion.
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+
+using namespace orion;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scheduler=NAME] [--device=v100|a100] [--seconds=N] [--seed=N]\n"
+               "       [--dur-threshold=PCT] [--sm-threshold=N] [--pcie-priority]\n"
+               "       --client=SPEC [--client=SPEC ...]\n"
+               "client SPEC: model:task[:arrivals[:rps]][:hp][:swap]\n";
+  return 2;
+}
+
+bool ParseModel(const std::string& token, workloads::ModelId* model) {
+  using workloads::ModelId;
+  if (token == "resnet50") {
+    *model = ModelId::kResNet50;
+  } else if (token == "mobilenetv2") {
+    *model = ModelId::kMobileNetV2;
+  } else if (token == "resnet101") {
+    *model = ModelId::kResNet101;
+  } else if (token == "bert") {
+    *model = ModelId::kBert;
+  } else if (token == "transformer") {
+    *model = ModelId::kTransformer;
+  } else if (token == "llm") {
+    *model = ModelId::kLlmDecode;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseClient(const std::string& spec, harness::ClientConfig* client) {
+  std::istringstream ss(spec);
+  std::string token;
+  std::vector<std::string> tokens;
+  while (std::getline(ss, token, ':')) {
+    tokens.push_back(token);
+  }
+  if (tokens.size() < 2) {
+    return false;
+  }
+  workloads::ModelId model;
+  if (!ParseModel(tokens[0], &model)) {
+    return false;
+  }
+  workloads::TaskType task;
+  if (tokens[1] == "inf") {
+    task = workloads::TaskType::kInference;
+  } else if (tokens[1] == "train") {
+    task = workloads::TaskType::kTraining;
+  } else {
+    return false;
+  }
+  client->workload = workloads::MakeWorkload(model, task);
+  client->arrivals = harness::ClientConfig::Arrivals::kClosedLoop;
+  std::size_t index = 2;
+  if (index < tokens.size()) {
+    if (tokens[index] == "poisson" || tokens[index] == "uniform" ||
+        tokens[index] == "apollo") {
+      if (tokens[index] == "poisson") {
+        client->arrivals = harness::ClientConfig::Arrivals::kPoisson;
+      } else if (tokens[index] == "uniform") {
+        client->arrivals = harness::ClientConfig::Arrivals::kUniform;
+      } else {
+        client->arrivals = harness::ClientConfig::Arrivals::kApollo;
+      }
+      ++index;
+      if (index >= tokens.size()) {
+        return false;  // open-loop arrivals need a rate
+      }
+      client->rps = std::stod(tokens[index]);
+      ++index;
+    } else if (tokens[index] == "closed") {
+      ++index;
+    }
+  }
+  for (; index < tokens.size(); ++index) {
+    if (tokens[index] == "hp") {
+      client->high_priority = true;
+    } else if (tokens[index] == "swap") {
+      client->allow_swapping = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseScheduler(const std::string& name, harness::SchedulerKind* kind) {
+  using harness::SchedulerKind;
+  if (name == "ideal") {
+    *kind = SchedulerKind::kDedicated;
+  } else if (name == "mig") {
+    *kind = SchedulerKind::kMig;
+  } else if (name == "temporal") {
+    *kind = SchedulerKind::kTemporal;
+  } else if (name == "streams") {
+    *kind = SchedulerKind::kStreams;
+  } else if (name == "mps") {
+    *kind = SchedulerKind::kMps;
+  } else if (name == "reef") {
+    *kind = SchedulerKind::kReef;
+  } else if (name == "ticktock") {
+    *kind = SchedulerKind::kTickTock;
+  } else if (name == "orion") {
+    *kind = SchedulerKind::kOrion;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig config;
+  config.duration_us = SecToUs(10.0);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--scheduler=", 0) == 0) {
+      if (!ParseScheduler(value_of("--scheduler="), &config.scheduler)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--device=", 0) == 0) {
+      const std::string device = value_of("--device=");
+      if (device == "v100") {
+        config.device = gpusim::DeviceSpec::V100_16GB();
+      } else if (device == "a100") {
+        config.device = gpusim::DeviceSpec::A100_40GB();
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      config.duration_us = SecToUs(std::stod(value_of("--seconds=")));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value_of("--seed="));
+    } else if (arg.rfind("--dur-threshold=", 0) == 0) {
+      config.orion.dur_threshold_frac = std::stod(value_of("--dur-threshold=")) / 100.0;
+    } else if (arg.rfind("--sm-threshold=", 0) == 0) {
+      config.orion.sm_threshold = std::stoi(value_of("--sm-threshold="));
+    } else if (arg == "--pcie-priority") {
+      config.pcie_priority_scheduling = true;
+    } else if (arg.rfind("--client=", 0) == 0) {
+      harness::ClientConfig client;
+      if (!ParseClient(value_of("--client="), &client)) {
+        std::cerr << "bad client spec: " << arg << "\n";
+        return Usage(argv[0]);
+      }
+      config.clients.push_back(client);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (config.clients.empty()) {
+    // Default demo: the quickstart pair.
+    harness::ClientConfig hp;
+    hp.workload =
+        workloads::MakeWorkload(workloads::ModelId::kResNet50, workloads::TaskType::kInference);
+    hp.high_priority = true;
+    hp.arrivals = harness::ClientConfig::Arrivals::kPoisson;
+    hp.rps = 15.0;
+    harness::ClientConfig be;
+    be.workload =
+        workloads::MakeWorkload(workloads::ModelId::kResNet50, workloads::TaskType::kTraining);
+    config.clients = {hp, be};
+    std::cout << "(no --client given; running the default resnet50 inf+train demo)\n";
+  }
+
+  const auto result = harness::RunExperiment(config);
+  std::cout << "scheduler: " << result.scheduler_name << " on " << config.device.name << "\n";
+  Table table({"client", "completed", "throughput_rps", "p50_ms", "p99_ms", "queue_p99_ms",
+               "service_p99_ms"});
+  for (const auto& client : result.clients) {
+    table.AddRow({client.name, Cell(client.completed), Cell(client.throughput_rps, 2),
+                  Cell(UsToMs(client.latency.p50()), 2),
+                  Cell(UsToMs(client.latency.p99()), 2),
+                  Cell(UsToMs(client.queueing.p99()), 2),
+                  Cell(UsToMs(client.service.p99()), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "GPU: compute " << Cell(100.0 * result.utilization.compute, 1) << "%, membw "
+            << Cell(100.0 * result.utilization.membw, 1) << "%, SMs busy "
+            << Cell(100.0 * result.utilization.sm_busy, 1) << "%\n";
+  if (result.swapping_active) {
+    std::cout << "memory swapping active: deficit "
+              << Cell(static_cast<double>(result.memory_deficit_bytes) / 1e9, 2) << " GB\n";
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace cluster {
+
+JobSignature MakeSignature(const gpusim::DeviceSpec& device,
+                           const workloads::WorkloadSpec& workload, bool high_priority) {
+  JobSignature sig;
+  sig.name = workloads::WorkloadName(workload);
+  sig.workload = workload;
+  sig.high_priority = high_priority;
+  sig.state_bytes = workloads::ApproxModelStateBytes(workload);
+
+  // Time-weighted aggregates over the kernel sequence: this is what the
+  // offline profile provides without running any collocation.
+  const auto kernels = workloads::BuildKernels(device, workload);
+  double total_time = 0.0;
+  double compute_weighted = 0.0;
+  double memory_weighted = 0.0;
+  double compute_bound_time = 0.0;
+  for (const auto& kernel : kernels) {
+    total_time += kernel.duration_us;
+    compute_weighted += kernel.duration_us * kernel.compute_util;
+    memory_weighted += kernel.duration_us * kernel.membw_util;
+    if (gpusim::ClassifyKernel(kernel) == gpusim::ResourceProfile::kComputeBound) {
+      compute_bound_time += kernel.duration_us;
+    }
+  }
+  if (total_time > 0.0) {
+    sig.compute_intensity = compute_weighted / total_time;
+    sig.memory_intensity = memory_weighted / total_time;
+    sig.compute_bound_fraction = compute_bound_time / total_time;
+  }
+  return sig;
+}
+
+double PairInterference(const JobSignature& a, const JobSignature& b) {
+  // Same-resource pressure: the smaller of the two jobs' demands on each
+  // resource is the contended share (the rest would fit anyway). Weight the
+  // dominant-phase overlap as well: two jobs that are compute-bound most of
+  // the time collide in time, not just in aggregate.
+  const double compute_clash = std::min(a.compute_intensity, b.compute_intensity);
+  const double memory_clash = std::min(a.memory_intensity, b.memory_intensity);
+  const double phase_clash =
+      std::min(a.compute_bound_fraction, b.compute_bound_fraction) +
+      std::min(1.0 - a.compute_bound_fraction, 1.0 - b.compute_bound_fraction);
+  return compute_clash + memory_clash + 0.5 * phase_clash;
+}
+
+std::optional<Placement> PlacementEngine::Place(const std::vector<JobSignature>& jobs,
+                                                const PlacementOptions& options) {
+  ORION_CHECK(options.num_gpus >= 1);
+  ORION_CHECK(options.max_jobs_per_gpu >= 1);
+  const std::size_t capacity =
+      options.gpu_memory_bytes > 0 ? options.gpu_memory_bytes : options.device.memory_bytes;
+
+  Placement placement;
+  placement.gpu_jobs.assign(static_cast<std::size_t>(options.num_gpus), {});
+  std::vector<std::size_t> used_bytes(static_cast<std::size_t>(options.num_gpus), 0);
+  std::vector<bool> has_hp(static_cast<std::size_t>(options.num_gpus), false);
+
+  // Greedy in a stable order: latency-critical jobs first (they anchor
+  // GPUs), then by memory footprint descending (hardest to pack first).
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].high_priority != jobs[b].high_priority) {
+      return jobs[a].high_priority;
+    }
+    return jobs[a].state_bytes > jobs[b].state_bytes;
+  });
+
+  for (const std::size_t job : order) {
+    const JobSignature& sig = jobs[job];
+    int best_gpu = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int gpu = 0; gpu < options.num_gpus; ++gpu) {
+      const auto g = static_cast<std::size_t>(gpu);
+      if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu) {
+        continue;
+      }
+      if (used_bytes[g] + sig.state_bytes > capacity) {
+        continue;
+      }
+      if (sig.high_priority && has_hp[g]) {
+        continue;  // one latency-critical job per GPU
+      }
+      double added = 0.0;
+      for (const std::size_t other : placement.gpu_jobs[g]) {
+        added += PairInterference(sig, jobs[other]);
+      }
+      // Prefer emptier GPUs on ties so hp jobs spread out.
+      const double score = added + 1e-3 * static_cast<double>(placement.gpu_jobs[g].size());
+      if (score < best_score) {
+        best_score = score;
+        best_gpu = gpu;
+      }
+    }
+    if (best_gpu < 0) {
+      return std::nullopt;  // infeasible under the given limits
+    }
+    const auto g = static_cast<std::size_t>(best_gpu);
+    for (const std::size_t other : placement.gpu_jobs[g]) {
+      placement.predicted_interference += PairInterference(sig, jobs[other]);
+    }
+    placement.gpu_jobs[g].push_back(job);
+    used_bytes[g] += sig.state_bytes;
+    has_hp[g] = has_hp[g] || sig.high_priority;
+  }
+  return placement;
+}
+
+std::optional<Placement> PlacementEngine::PlaceRoundRobin(const std::vector<JobSignature>& jobs,
+                                                          const PlacementOptions& options) {
+  ORION_CHECK(options.num_gpus >= 1);
+  const std::size_t capacity =
+      options.gpu_memory_bytes > 0 ? options.gpu_memory_bytes : options.device.memory_bytes;
+  Placement placement;
+  placement.gpu_jobs.assign(static_cast<std::size_t>(options.num_gpus), {});
+  std::vector<std::size_t> used_bytes(static_cast<std::size_t>(options.num_gpus), 0);
+  for (std::size_t job = 0; job < jobs.size(); ++job) {
+    const auto g = job % static_cast<std::size_t>(options.num_gpus);
+    if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu ||
+        used_bytes[g] + jobs[job].state_bytes > capacity) {
+      return std::nullopt;
+    }
+    placement.gpu_jobs[g].push_back(job);
+    used_bytes[g] += jobs[job].state_bytes;
+  }
+  placement.predicted_interference = ScorePlacement(jobs, placement);
+  return placement;
+}
+
+double PlacementEngine::ScorePlacement(const std::vector<JobSignature>& jobs,
+                                       const Placement& placement) {
+  double total = 0.0;
+  for (const auto& gpu : placement.gpu_jobs) {
+    for (std::size_t i = 0; i < gpu.size(); ++i) {
+      for (std::size_t j = i + 1; j < gpu.size(); ++j) {
+        total += PairInterference(jobs[gpu[i]], jobs[gpu[j]]);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace cluster
+}  // namespace orion

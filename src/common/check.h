@@ -1,0 +1,62 @@
+// Lightweight assertion macros used across the Orion codebase.
+//
+// ORION_CHECK() is always on (including release builds): the simulator's
+// correctness depends on internal invariants, and a silent corruption would
+// invalidate every experiment downstream. Failures print the condition and a
+// caller-provided message, then abort.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace orion {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "ORION_CHECK failed: %s at %s:%d %s\n", cond, file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace check_internal {
+
+// Builds the optional streamed message of ORION_CHECK without evaluating the
+// stream expressions unless the check actually fails.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+
+}  // namespace orion
+
+#define ORION_CHECK(cond)                                                              \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      ::orion::CheckFailed(#cond, __FILE__, __LINE__, "");                             \
+    }                                                                                  \
+  } while (0)
+
+#define ORION_CHECK_MSG(cond, ...)                                                     \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      ::orion::check_internal::MessageBuilder builder;                                 \
+      builder << __VA_ARGS__;                                                          \
+      ::orion::CheckFailed(#cond, __FILE__, __LINE__, builder.str());                  \
+    }                                                                                  \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

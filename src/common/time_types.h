@@ -1,0 +1,29 @@
+// Virtual-time conventions for the Orion simulator.
+//
+// All simulation timestamps and durations are expressed in microseconds as
+// doubles. Kernels progress at fractional rates under contention, so an
+// integral tick type would force rounding in the middle of rate integration;
+// doubles keep the math exact enough (53-bit mantissa covers > 100 virtual
+// years at nanosecond resolution).
+#ifndef SRC_COMMON_TIME_TYPES_H_
+#define SRC_COMMON_TIME_TYPES_H_
+
+namespace orion {
+
+// A point in virtual time, microseconds since simulation start.
+using TimeUs = double;
+
+// A span of virtual time, microseconds.
+using DurationUs = double;
+
+constexpr DurationUs kUsPerMs = 1e3;
+constexpr DurationUs kUsPerSec = 1e6;
+
+constexpr DurationUs MsToUs(double ms) { return ms * kUsPerMs; }
+constexpr DurationUs SecToUs(double sec) { return sec * kUsPerSec; }
+constexpr double UsToMs(DurationUs us) { return us / kUsPerMs; }
+constexpr double UsToSec(DurationUs us) { return us / kUsPerSec; }
+
+}  // namespace orion
+
+#endif  // SRC_COMMON_TIME_TYPES_H_

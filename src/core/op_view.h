@@ -1,0 +1,84 @@
+// Aggregate scheduling view of an intercepted op.
+//
+// Kernel-granularity policies (Orion, REEF) decide per kernel using the
+// offline profile. A captured CUDA graph (§7 extension) arrives as ONE op,
+// so the policy can only judge it as a unit: total expected duration, the
+// largest SM requirement, and the duration-dominant resource profile. This
+// is precisely the granularity loss the paper's Discussion warns about —
+// the helpers here make that degradation explicit and testable.
+#ifndef SRC_CORE_OP_VIEW_H_
+#define SRC_CORE_OP_VIEW_H_
+
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/kernel.h"
+#include "src/profiler/profiler.h"
+#include "src/runtime/op.h"
+
+namespace orion {
+namespace core {
+
+// True for ops the kernel-scheduling policy applies to (kernel launches and
+// graph launches); memory-management ops bypass the policy (§5.1.3).
+inline bool IsComputeOp(const runtime::Op& op) {
+  return op.type == runtime::OpType::kKernelLaunch ||
+         op.type == runtime::OpType::kGraphLaunch;
+}
+
+struct KernelView {
+  DurationUs duration_us = 0.0;  // expected total execution time
+  gpusim::ResourceProfile profile = gpusim::ResourceProfile::kUnknown;
+  int sm_needed = 0;             // peak SM requirement
+};
+
+// Profile lookup with fallback to the descriptor's own numbers.
+inline KernelView ViewOfKernel(const gpusim::KernelDesc& kernel,
+                               const profiler::WorkloadProfile* profile,
+                               const gpusim::DeviceSpec& spec) {
+  KernelView view;
+  if (profile != nullptr) {
+    if (const profiler::KernelProfile* kp = profile->Find(kernel.kernel_id)) {
+      view.duration_us = kp->duration_us;
+      view.profile = kp->profile;
+      view.sm_needed = kp->sm_needed;
+      return view;
+    }
+  }
+  view.duration_us = kernel.duration_us;
+  view.profile = gpusim::ClassifyKernel(kernel);
+  view.sm_needed = gpusim::SmsNeeded(spec, kernel.geometry);
+  return view;
+}
+
+// Aggregate view of a kernel or graph op.
+inline KernelView ViewOf(const runtime::Op& op, const profiler::WorkloadProfile* profile,
+                         const gpusim::DeviceSpec& spec) {
+  if (op.type == runtime::OpType::kKernelLaunch) {
+    return ViewOfKernel(op.kernel, profile, spec);
+  }
+  KernelView view;
+  double compute_time = 0.0;
+  double memory_time = 0.0;
+  for (const gpusim::KernelDesc& kernel : op.graph_kernels) {
+    const KernelView k = ViewOfKernel(kernel, profile, spec);
+    view.duration_us += k.duration_us;
+    view.sm_needed = std::max(view.sm_needed, k.sm_needed);
+    if (k.profile == gpusim::ResourceProfile::kComputeBound) {
+      compute_time += k.duration_us;
+    } else if (k.profile == gpusim::ResourceProfile::kMemoryBound) {
+      memory_time += k.duration_us;
+    }
+  }
+  // Dominant-by-time classification; graphs mixing both heavily are Unknown
+  // only if neither side dominates at all.
+  if (compute_time > memory_time && compute_time > 0.0) {
+    view.profile = gpusim::ResourceProfile::kComputeBound;
+  } else if (memory_time > 0.0) {
+    view.profile = gpusim::ResourceProfile::kMemoryBound;
+  }
+  return view;
+}
+
+}  // namespace core
+}  // namespace orion
+
+#endif  // SRC_CORE_OP_VIEW_H_

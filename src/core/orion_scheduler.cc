@@ -1,0 +1,181 @@
+#include "src/core/orion_scheduler.h"
+
+#include "src/core/op_view.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace core {
+
+OrionScheduler::OrionScheduler(OrionOptions options) : options_(options) {}
+
+void OrionScheduler::Attach(Simulator* sim, runtime::GpuRuntime* rt,
+                            std::vector<SchedClientInfo> clients) {
+  ORION_CHECK(sim != nullptr && rt != nullptr);
+  sim_ = sim;
+  rt_ = rt;
+  const int hp_priority =
+      options_.use_stream_priorities ? gpusim::kPriorityHigh : gpusim::kPriorityDefault;
+  int hp_count = 0;
+  for (const SchedClientInfo& client : clients) {
+    if (client.high_priority) {
+      ++hp_count;
+      hp_client_ = client.id;
+      hp_profile_ = client.profile;
+      hp_stream_ = rt_->CreateStream(hp_priority);
+      ORION_CHECK_MSG(client.profile != nullptr, "Orion requires an offline profile (§5.2)");
+      hp_target_latency_ = client.profile->request_latency_us;
+    } else {
+      BeClient be;
+      be.id = client.id;
+      be.profile = client.profile;
+      be.stream = rt_->CreateStream(gpusim::kPriorityDefault);
+      be_clients_.push_back(std::move(be));
+    }
+  }
+  ORION_CHECK_MSG(hp_count == 1, "Orion expects exactly one high-priority client, got "
+                                     << hp_count);
+  sm_threshold_ =
+      options_.sm_threshold > 0 ? options_.sm_threshold : rt_->device().spec().num_sms;
+}
+
+void OrionScheduler::Enqueue(ClientId client, SchedOp op) {
+  if (client == hp_client_) {
+    SubmitHp(std::move(op));
+    // The polling loop considers a best-effort op in the same iteration it
+    // submits a high-priority op (Listing 1 lines 7-21).
+    PollBestEffort();
+    return;
+  }
+  for (BeClient& be : be_clients_) {
+    if (be.id == client) {
+      be.queue.push_back(std::move(op));
+      PollBestEffort();
+      return;
+    }
+  }
+  ORION_CHECK_MSG(false, "enqueue from unknown client " << client);
+}
+
+void OrionScheduler::SubmitHp(SchedOp op) {
+  if (IsComputeOp(op.op)) {
+    ++hp_outstanding_;
+    hp_running_profiles_.push_back(ViewOf(op.op, hp_profile_, rt_->device().spec()).profile);
+    auto on_complete = std::move(op.on_complete);
+    rt_->Submit(op.op, hp_stream_, [this, on_complete = std::move(on_complete)]() {
+      ORION_CHECK(hp_outstanding_ > 0);
+      --hp_outstanding_;
+      if (!hp_running_profiles_.empty()) {
+        hp_running_profiles_.pop_front();
+      }
+      if (on_complete) {
+        on_complete();
+      }
+      // A high-priority completion may open a collocation window.
+      PollBestEffort();
+    });
+    return;
+  }
+  // Memory ops go straight to the device (§5.1.3); blocking semantics are
+  // enforced by the client driver via on_complete.
+  rt_->Submit(op.op, hp_stream_, std::move(op.on_complete));
+}
+
+bool OrionScheduler::ScheduleBe(const runtime::Op& op, const BeClient& be) {
+  // Listing 1, schedule_be(): suitable when no hp task is running...
+  if (hp_outstanding_ == 0) {
+    return true;
+  }
+  const KernelView view = ViewOf(op, be.profile, rt_->device().spec());
+  // ...or when it is small enough and has the opposite resource profile.
+  // (For a captured CUDA graph the checks apply to the whole graph — the
+  // granularity loss discussed in §7.)
+  if (options_.use_sm_check && view.sm_needed >= sm_threshold_) {
+    return false;
+  }
+  if (options_.use_profile_check) {
+    const gpusim::ResourceProfile hp_profile = hp_running_profiles_.empty()
+                                                   ? gpusim::ResourceProfile::kUnknown
+                                                   : hp_running_profiles_.front();
+    if (!gpusim::HaveDifferentProfiles(hp_profile, view.profile)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OrionScheduler::PollBestEffort() {
+  if (be_clients_.empty()) {
+    return;
+  }
+  // Keep draining while some queue head is schedulable; stop after a full
+  // round with no progress (every head blocked or all queues empty).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t step = 0; step < be_clients_.size(); ++step) {
+      BeClient& be = be_clients_[(rr_cursor_ + step) % be_clients_.size()];
+      if (be.queue.empty()) {
+        continue;
+      }
+      SchedOp& head = be.queue.front();
+
+      if (!IsComputeOp(head.op)) {
+        // Memory ops bypass the policy (§5.1.3).
+        SchedOp op = std::move(head);
+        be.queue.pop_front();
+        rt_->Submit(op.op, be.stream, std::move(op.on_complete));
+        progress = true;
+        continue;
+      }
+
+      // DUR_THRESHOLD throttle (Listing 1 lines 12-16): once the expected
+      // outstanding best-effort time exceeds the budget, nothing more is
+      // submitted until the CUDA event says everything drained.
+      if (options_.use_dur_throttle && hp_target_latency_ > 0.0 &&
+          be_duration_ > options_.dur_threshold_frac * hp_target_latency_) {
+        if (be_submitted_ != nullptr && be_submitted_->done) {
+          be_duration_ = 0.0;
+        } else {
+          ++be_throttle_skips_;
+          continue;
+        }
+      }
+
+      if (!ScheduleBe(head.op, be)) {
+        ++be_profile_skips_;
+        continue;
+      }
+
+      SchedOp op = std::move(head);
+      be.queue.pop_front();
+      rr_cursor_ = (rr_cursor_ + step + 1) % be_clients_.size();
+      SubmitBe(be, std::move(op));
+      progress = true;
+      break;  // restart the round-robin scan from the new cursor
+    }
+  }
+}
+
+void OrionScheduler::SubmitBe(BeClient& be, SchedOp op) {
+  ++be_kernels_submitted_;
+  be_duration_ += ViewOf(op.op, be.profile, rt_->device().spec()).duration_us;
+  auto on_complete = std::move(op.on_complete);
+  rt_->Submit(op.op, be.stream, [this, on_complete = std::move(on_complete)]() {
+    if (on_complete) {
+      on_complete();
+    }
+    // Completion may clear the throttle (the recorded event flips to done).
+    PollBestEffort();
+  });
+  // Track progress of the best-effort stream without blocking: record a CUDA
+  // event after the kernel and poll it with cudaEventQuery (§5.1.2).
+  be_submitted_ = std::make_shared<gpusim::GpuEvent>();
+  rt_->RecordEvent(be.stream, be_submitted_.get(),
+                   [keepalive = be_submitted_]() { (void)keepalive; });
+}
+
+}  // namespace core
+}  // namespace orion

@@ -1,0 +1,114 @@
+// The Orion scheduler (§5.1 of the paper, Listing 1).
+//
+// Policy, translated from the paper's polling loop into event-driven form
+// (wake-ups on op enqueue and kernel completion):
+//   * High-priority ops are submitted immediately on a dedicated
+//     high-priority stream.
+//   * A best-effort kernel is submitted only when
+//       - no high-priority kernel is outstanding on the GPU, or
+//       - it needs fewer than SM_THRESHOLD SMs AND its compute/memory profile
+//         differs from the currently executing high-priority kernel's
+//         (opposite-profile collocation, §3.2), and
+//       - the expected total duration of outstanding best-effort kernels is
+//         below DUR_THRESHOLD (a fraction of the high-priority job's
+//         run-alone request latency), checked via a CUDA event query on the
+//         best-effort stream (§5.1.2) — the throttle that substitutes for
+//         kernel preemption on closed GPUs.
+//   * Unknown-profile kernels collocate with anything (§5.2).
+//   * Memory ops are submitted directly (§5.1.3).
+//   * Multiple best-effort clients are served round-robin, one GPU stream
+//     each.
+//
+// Every policy ingredient is independently switchable so the Fig. 14
+// breakdown is a first-class experiment.
+#ifndef SRC_CORE_ORION_SCHEDULER_H_
+#define SRC_CORE_ORION_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/gpusim/kernel.h"
+
+namespace orion {
+namespace core {
+
+struct OrionOptions {
+  // DUR_THRESHOLD as a fraction of the high-priority run-alone request
+  // latency. Paper default: 2.5% (§5.1.1).
+  double dur_threshold_frac = 0.025;
+  // SM_THRESHOLD in SMs; <= 0 means "total SMs on the device" (the default
+  // in §5.1.1).
+  int sm_threshold = 0;
+
+  // Fig. 14 ablation switches.
+  bool use_stream_priorities = true;
+  bool use_profile_check = true;  // opposite compute/memory profile rule
+  bool use_sm_check = true;       // SM_THRESHOLD rule
+  bool use_dur_throttle = true;   // DUR_THRESHOLD rule
+};
+
+class OrionScheduler : public Scheduler {
+ public:
+  explicit OrionScheduler(OrionOptions options = {});
+
+  std::string name() const override { return "orion"; }
+  void Attach(Simulator* sim, runtime::GpuRuntime* rt,
+              std::vector<SchedClientInfo> clients) override;
+  void Enqueue(ClientId client, SchedOp op) override;
+
+  const OrionOptions& options() const { return options_; }
+  // Effective SM_THRESHOLD after resolution against the device.
+  int sm_threshold() const { return sm_threshold_; }
+  void set_sm_threshold(int threshold) { sm_threshold_ = threshold; }
+
+  // Statistics for the overhead/ablation benches.
+  std::size_t be_kernels_submitted() const { return be_kernels_submitted_; }
+  std::size_t be_throttle_skips() const { return be_throttle_skips_; }
+  std::size_t be_profile_skips() const { return be_profile_skips_; }
+
+ private:
+  struct BeClient {
+    ClientId id = 0;
+    gpusim::StreamId stream = gpusim::kInvalidStream;
+    const profiler::WorkloadProfile* profile = nullptr;
+    std::deque<SchedOp> queue;
+  };
+
+  // Attempts to submit best-effort work; called on every wake-up.
+  void PollBestEffort();
+  // Listing 1's schedule_be(): is this (kernel or graph) op suitable now?
+  bool ScheduleBe(const runtime::Op& op, const BeClient& be);
+  void SubmitHp(SchedOp op);
+  void SubmitBe(BeClient& be, SchedOp op);
+
+  OrionOptions options_;
+  Simulator* sim_ = nullptr;
+  runtime::GpuRuntime* rt_ = nullptr;
+
+  // High-priority client state.
+  ClientId hp_client_ = -1;
+  gpusim::StreamId hp_stream_ = gpusim::kInvalidStream;
+  const profiler::WorkloadProfile* hp_profile_ = nullptr;
+  DurationUs hp_target_latency_ = 0.0;
+  int hp_outstanding_ = 0;  // submitted-but-not-completed hp kernels
+  // Profiles of outstanding hp kernels, FIFO; front = currently executing.
+  std::deque<gpusim::ResourceProfile> hp_running_profiles_;
+
+  // Best-effort state.
+  std::vector<BeClient> be_clients_;
+  std::size_t rr_cursor_ = 0;
+  double be_duration_ = 0.0;  // expected µs of outstanding be kernels (Listing 1)
+  std::shared_ptr<gpusim::GpuEvent> be_submitted_;  // event after last be kernel
+
+  int sm_threshold_ = 0;
+  std::size_t be_kernels_submitted_ = 0;
+  std::size_t be_throttle_skips_ = 0;
+  std::size_t be_profile_skips_ = 0;
+};
+
+}  // namespace core
+}  // namespace orion
+
+#endif  // SRC_CORE_ORION_SCHEDULER_H_

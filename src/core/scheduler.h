@@ -1,0 +1,72 @@
+// Scheduler interface: the interception boundary.
+//
+// In the real system Orion is a dynamically-linked library whose wrappers
+// intercept CUDA calls from each client and buffer them in per-client
+// software queues (§5). Here the same boundary is the Scheduler::Enqueue
+// call: client drivers hand every GPU op to the scheduler, which owns the
+// software queues and decides when each op reaches the device. All baselines
+// implement this same interface, so every collocation experiment differs
+// only in policy.
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/profiler/profiler.h"
+#include "src/runtime/gpu_runtime.h"
+#include "src/runtime/op.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace core {
+
+using ClientId = int;
+
+// What the scheduler knows about each attached client up front: its priority
+// class and the offline profile of its workload (§5.2).
+struct SchedClientInfo {
+  ClientId id = 0;
+  std::string name;
+  bool high_priority = false;
+  // Offline profile; owned by the harness, outlives the scheduler. May be
+  // null for profile-agnostic baselines.
+  const profiler::WorkloadProfile* profile = nullptr;
+};
+
+// A client op plus its completion hook. The hook fires (in virtual time)
+// when the op completes on the device; client drivers use it to measure
+// request latency and to unblock after synchronous ops.
+struct SchedOp {
+  runtime::Op op;
+  std::function<void()> on_complete;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Host-side submission cost model: schedulers whose clients must share one
+  // Python process (GPU Streams baseline) suffer GIL contention, inflating
+  // per-op host overhead with the client count (§6.2.1).
+  virtual double HostOverheadMultiplier(int num_clients) const {
+    (void)num_clients;
+    return 1.0;
+  }
+
+  // Binds the scheduler to the device runtime and the client set. Called
+  // exactly once, before any Enqueue.
+  virtual void Attach(Simulator* sim, runtime::GpuRuntime* rt,
+                      std::vector<SchedClientInfo> clients) = 0;
+
+  // Interception entry point: `client`'s framework issued a GPU op.
+  virtual void Enqueue(ClientId client, SchedOp op) = 0;
+};
+
+}  // namespace core
+}  // namespace orion
+
+#endif  // SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,223 @@
+// GPU device execution model.
+//
+// Reproduces the hardware behaviour Orion's policy depends on (§2 of the
+// paper):
+//   * Each CUDA stream is a FIFO work queue; ops on a stream execute in
+//     order. Streams carry an integer priority.
+//   * The hardware dispatcher assigns thread blocks to SMs in stream-priority
+//     order, but NEVER preempts blocks that already started.
+//   * A kernel whose blocks exceed free SM capacity starts partially and
+//     absorbs SMs as they free up (wave execution), modelled as a progress
+//     rate scaled by granted/needed SMs.
+//   * Concurrent kernels contend for compute throughput and memory bandwidth:
+//     if aggregate demand on either resource exceeds the device peak, all
+//     resident kernels slow proportionally (shape validated against the
+//     paper's Table 2 toy experiment).
+//   * Host<->device copies run on a separate copy engine at PCIe bandwidth.
+//   * CUDA events complete when all prior ops on their stream complete and
+//     can be queried without blocking (cudaEventQuery, §5.1.2).
+//
+// Everything runs in virtual time on the discrete-event Simulator. Completion
+// callbacks are delivered through zero-delay simulator events, so callbacks
+// may freely enqueue new work without re-entering the device mid-update.
+#ifndef SRC_GPUSIM_DEVICE_H_
+#define SRC_GPUSIM_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/kernel.h"
+#include "src/gpusim/utilization.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace gpusim {
+
+using StreamId = int;
+constexpr StreamId kInvalidStream = -1;
+
+// Stream priorities: larger value = scheduled first, matching CUDA's
+// "greatestPriority" semantics once mapped to an integer scale.
+constexpr int kPriorityDefault = 0;
+constexpr int kPriorityHigh = 1;
+
+// Host-visible completion flag, the analogue of a cudaEvent_t.
+struct GpuEvent {
+  bool done = false;
+  TimeUs completed_at = 0.0;
+};
+
+enum class MemcpyKind : std::uint8_t {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+};
+
+// Trace record emitted for every kernel execution (used by the profiler and
+// the utilization figures).
+struct KernelExecRecord {
+  std::uint64_t kernel_id = 0;
+  std::string name;
+  StreamId stream = kInvalidStream;
+  TimeUs start = 0.0;
+  TimeUs end = 0.0;
+  int sm_needed = 0;
+};
+
+class Device {
+ public:
+  using CompletionCb = std::function<void()>;
+  using KernelTraceSink = std::function<void(const KernelExecRecord&)>;
+
+  Device(Simulator* sim, DeviceSpec spec);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  Simulator* simulator() { return sim_; }
+
+  StreamId CreateStream(int priority = kPriorityDefault);
+  int stream_priority(StreamId stream) const;
+
+  // --- Op submission (asynchronous; `done` fires via a zero-delay event). ---
+  void LaunchKernel(StreamId stream, const KernelDesc& kernel, CompletionCb done = nullptr);
+  void EnqueueMemcpy(StreamId stream, std::size_t bytes, MemcpyKind kind,
+                     CompletionCb done = nullptr);
+  void EnqueueMemset(StreamId stream, std::size_t bytes, CompletionCb done = nullptr);
+  // Completes when every op previously enqueued on `stream` has completed.
+  void RecordEvent(StreamId stream, GpuEvent* event, CompletionCb done = nullptr);
+  // Fires once every stream has drained (device-wide synchronisation, the
+  // semantics cudaMalloc/cudaFree impose in §5.1.3).
+  void SynchronizeDevice(CompletionCb done);
+
+  // --- Introspection (used by schedulers, tests, and benches). ---
+  int FreeSms() const;
+  int BusySms() const;
+  bool AnyKernelRunning() const;
+  int RunningKernelCount() const;
+  // SMs currently granted to kernels of this stream.
+  int StreamBusySms(StreamId stream) const;
+  bool StreamIdle(StreamId stream) const;
+  std::size_t kernels_completed() const { return kernels_completed_; }
+  std::size_t memcpys_completed() const { return memcpys_completed_; }
+
+  UtilizationTracker& utilization() { return utilization_; }
+  const UtilizationTracker& utilization() const { return utilization_; }
+
+  // Installs a sink invoked at each kernel completion with its exec record.
+  void set_kernel_trace_sink(KernelTraceSink sink) { trace_sink_ = std::move(sink); }
+
+  // PCIe-aware copy scheduling (§5.1.3 of the paper, future work there):
+  // when enabled, (a) pending host<->device copies start in stream-priority
+  // order instead of FIFO, and (b) bulk transfers proceed in chunks so a
+  // high-priority copy waits at most one chunk, not a whole multi-megabyte
+  // batch. Chunks in flight are never preempted.
+  void set_pcie_priority_scheduling(bool enabled) { pcie_priority_ = enabled; }
+  bool pcie_priority_scheduling() const { return pcie_priority_; }
+
+ private:
+  struct Op {
+    enum class Type : std::uint8_t { kKernel, kMemcpy, kMemset, kEvent };
+    Type type = Type::kKernel;
+    KernelDesc kernel;            // kKernel
+    std::size_t bytes = 0;        // kMemcpy / kMemset
+    MemcpyKind memcpy_kind = MemcpyKind::kHostToDevice;
+    GpuEvent* event = nullptr;    // kEvent
+    CompletionCb done;
+    std::uint64_t seq = 0;        // global submission order (determinism)
+  };
+
+  struct Stream {
+    int priority = kPriorityDefault;
+    std::deque<Op> queue;        // ops not yet started (front = next)
+    bool head_active = false;    // front-of-queue op currently executing
+  };
+
+  struct RunningKernel {
+    StreamId stream = kInvalidStream;
+    KernelDesc desc;
+    DurationUs remaining = 0.0;  // alone-time µs of work left
+    int sm_needed = 0;           // demand, capped at device size
+    double granted = 0.0;        // SMs currently held (fluid share)
+    double target = 0.0;         // allocation target from the last rebalance
+    // Expected lifetime of one thread-block wave: duration / wave count.
+    // Determines how fast this kernel's SMs drain to other kernels when its
+    // allocation target shrinks (blocks are never preempted; they retire).
+    DurationUs block_duration = 0.0;
+    TimeUs started_at = 0.0;
+    std::uint64_t seq = 0;
+    CompletionCb done;
+  };
+
+  struct PendingCopy {
+    StreamId stream = kInvalidStream;
+    std::size_t bytes = 0;            // bytes left to transfer
+    bool started = false;             // some chunk already transferred
+    int priority = kPriorityDefault;  // stream priority at enqueue time
+    std::uint64_t seq = 0;
+    CompletionCb done;
+  };
+
+  // Integrates running-kernel progress from last_update_ to now and records
+  // the utilization interval.
+  void AdvanceTo(TimeUs now);
+  // Computes each kernel's SM allocation target: stream-priority tiers get
+  // capacity first; within a tier, capacity splits proportionally to demand
+  // (the hardware dispatcher round-robins block dispatch across streams).
+  void ComputeTargets();
+  // Fills (kernel, progress rate) pairs for every kernel holding SMs,
+  // applying the proportional resource slowdown and the cross-kernel memory
+  // interference penalty.
+  void ComputeRates(std::vector<std::pair<RunningKernel*, double>>* rates);
+  // Grants free SMs to under-target kernels, recomputes rates, and
+  // (re)schedules the next completion event. Grants only grow here; shrinks
+  // happen at rebalance events one block-turnover quantum later, modelling
+  // that running thread blocks are never preempted but retire continuously.
+  void Reschedule();
+  void MaybeScheduleRebalance();
+  double GrantedTotal() const;
+  // Retires every running kernel whose remaining work reached zero.
+  void CompleteFinishedKernels();
+  // Starts the front op of `stream` if it is startable (event/memset resolve
+  // immediately; memcpy goes to the copy engine; kernels wait for SMs).
+  void ActivateStreamHead(StreamId stream);
+  void FinishOp(StreamId stream, CompletionCb done);
+  void StartNextCopy();
+  void CheckDeviceSync();
+  double CurrentSlowdown() const;
+  void DeliverCallback(CompletionCb cb);
+
+  Simulator* sim_;
+  DeviceSpec spec_;
+  std::vector<Stream> streams_;
+  std::list<RunningKernel> running_;
+  std::uint64_t next_seq_ = 0;
+  TimeUs last_update_ = 0.0;
+  EventHandle completion_event_;
+  bool in_reschedule_ = false;
+  bool rebalance_pending_ = false;
+
+  // Copy engine: single queue, one transfer at a time.
+  std::deque<PendingCopy> copy_queue_;
+  bool copy_active_ = false;
+  bool pcie_priority_ = false;
+  EventHandle copy_event_;
+
+  std::vector<CompletionCb> sync_waiters_;
+
+  std::size_t kernels_completed_ = 0;
+  std::size_t memcpys_completed_ = 0;
+  UtilizationTracker utilization_;
+  KernelTraceSink trace_sink_;
+};
+
+}  // namespace gpusim
+}  // namespace orion
+
+#endif  // SRC_GPUSIM_DEVICE_H_

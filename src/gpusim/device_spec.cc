@@ -1,0 +1,65 @@
+#include "src/gpusim/device_spec.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace gpusim {
+
+DeviceSpec DeviceSpec::V100_16GB() {
+  DeviceSpec spec;
+  spec.name = "V100-16GB";
+  spec.num_sms = 80;
+  spec.max_threads_per_sm = 2048;
+  spec.max_registers_per_sm = 65536;
+  spec.max_shared_mem_per_sm = 96 * 1024;
+  spec.max_blocks_per_sm = 32;
+  spec.peak_fp32_tflops = 15.7;
+  spec.peak_membw_gbps = 900.0;
+  spec.pcie_gbps = 12.0;  // effective PCIe 3.0 x16
+  spec.pcie_latency_us = 10.0;
+  spec.memory_bytes = std::size_t{16} * 1024 * 1024 * 1024;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::A100_40GB() {
+  DeviceSpec spec;
+  spec.name = "A100-40GB";
+  spec.num_sms = 108;
+  spec.max_threads_per_sm = 2048;
+  spec.max_registers_per_sm = 65536;
+  spec.max_shared_mem_per_sm = 164 * 1024;
+  spec.max_blocks_per_sm = 32;
+  spec.peak_fp32_tflops = 19.5;
+  spec.peak_membw_gbps = 1555.0;
+  spec.pcie_gbps = 20.0;  // effective PCIe 4.0 x16
+  spec.pcie_latency_us = 8.0;
+  spec.memory_bytes = std::size_t{40} * 1024 * 1024 * 1024;
+  return spec;
+}
+
+int BlocksPerSm(const DeviceSpec& spec, const LaunchGeometry& geom) {
+  ORION_CHECK(geom.threads_per_block > 0);
+  ORION_CHECK(geom.num_blocks > 0);
+  int by_threads = spec.max_threads_per_sm / geom.threads_per_block;
+  const int regs_per_block = geom.registers_per_thread * geom.threads_per_block;
+  int by_registers =
+      regs_per_block > 0 ? spec.max_registers_per_sm / regs_per_block : spec.max_blocks_per_sm;
+  int by_smem = geom.shared_mem_per_block > 0
+                    ? spec.max_shared_mem_per_sm / geom.shared_mem_per_block
+                    : spec.max_blocks_per_sm;
+  int blocks = std::min({by_threads, by_registers, by_smem, spec.max_blocks_per_sm});
+  // A geometry exceeding a per-SM limit cannot launch on real hardware; the
+  // workload generator never produces one, but clamping keeps the math total.
+  return std::max(blocks, 1);
+}
+
+int SmsNeeded(const DeviceSpec& spec, const LaunchGeometry& geom) {
+  const int per_sm = BlocksPerSm(spec, geom);
+  const int needed = (geom.num_blocks + per_sm - 1) / per_sm;
+  return std::max(1, needed);
+}
+
+}  // namespace gpusim
+}  // namespace orion

@@ -1,0 +1,47 @@
+#include "src/gpusim/kernel.h"
+
+namespace orion {
+namespace gpusim {
+
+const char* ResourceProfileName(ResourceProfile profile) {
+  switch (profile) {
+    case ResourceProfile::kComputeBound:
+      return "compute";
+    case ResourceProfile::kMemoryBound:
+      return "memory";
+    case ResourceProfile::kUnknown:
+      return "unknown";
+  }
+  return "invalid";
+}
+
+ResourceProfile ClassifyKernel(const KernelDesc& kernel) {
+  if (kernel.has_roofline) {
+    return kernel.roofline_class;
+  }
+  constexpr double kThreshold = 0.6;
+  const bool compute_hot = kernel.compute_util > kThreshold;
+  const bool memory_hot = kernel.membw_util > kThreshold;
+  if (compute_hot && memory_hot) {
+    return kernel.compute_util >= kernel.membw_util ? ResourceProfile::kComputeBound
+                                                    : ResourceProfile::kMemoryBound;
+  }
+  if (compute_hot) {
+    return ResourceProfile::kComputeBound;
+  }
+  if (memory_hot) {
+    return ResourceProfile::kMemoryBound;
+  }
+  return ResourceProfile::kUnknown;
+}
+
+bool HaveDifferentProfiles(ResourceProfile a, ResourceProfile b) {
+  // Unknown-profile kernels are short and collocate with anything (§5.2).
+  if (a == ResourceProfile::kUnknown || b == ResourceProfile::kUnknown) {
+    return true;
+  }
+  return a != b;
+}
+
+}  // namespace gpusim
+}  // namespace orion

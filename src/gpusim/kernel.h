@@ -1,0 +1,74 @@
+// Kernel descriptors: the unit of scheduling in Orion.
+//
+// A KernelDesc carries everything the device model needs to execute a kernel
+// (run-alone duration and resource demands) and everything the Orion profiler
+// extracts offline (launch geometry, compute/memory utilization). The
+// resource profile classification mirrors §5.2: roofline if available,
+// otherwise the >60% utilization rule, otherwise Unknown.
+#ifndef SRC_GPUSIM_KERNEL_H_
+#define SRC_GPUSIM_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time_types.h"
+#include "src/gpusim/device_spec.h"
+
+namespace orion {
+namespace gpusim {
+
+enum class ResourceProfile : std::uint8_t {
+  kComputeBound,
+  kMemoryBound,
+  kUnknown,
+};
+
+const char* ResourceProfileName(ResourceProfile profile);
+
+// Phase of the owning request, used by phase-aware schedulers (Tick-Tock).
+enum class KernelPhase : std::uint8_t {
+  kForward,
+  kBackward,
+  kUpdate,
+  kNone,  // inference or phase-less kernels
+};
+
+struct KernelDesc {
+  // Stable identifier: equal kernels across iterations of the same model
+  // share an id, which is how profile lookup tables are keyed (§5.2).
+  std::uint64_t kernel_id = 0;
+  std::string name;
+
+  LaunchGeometry geometry;
+
+  // Run-alone duration on the reference device. The device model treats this
+  // as the amount of "work" and stretches it under contention.
+  DurationUs duration_us = 0.0;
+
+  // Fraction of device peak compute throughput / memory bandwidth this kernel
+  // consumes when running alone (0..1). These drive the interference model
+  // and the roofline classification.
+  double compute_util = 0.0;
+  double membw_util = 0.0;
+
+  // True if the (simulated) profiling tool has a roofline analysis for this
+  // kernel; some kernels lack one (§3.1, footnote 4).
+  bool has_roofline = false;
+  ResourceProfile roofline_class = ResourceProfile::kUnknown;
+
+  KernelPhase phase = KernelPhase::kNone;
+};
+
+// Classification rule from §5.2: prefer roofline; else compute-bound if
+// compute_util > 0.6, memory-bound if membw_util > 0.6, else unknown.
+// Ties (both above 0.6) resolve to the larger utilization.
+ResourceProfile ClassifyKernel(const KernelDesc& kernel);
+
+// True when the two profiles are "opposite" in the sense of §5.1.1 line 28:
+// one compute-bound and the other memory-bound. Unknown never conflicts.
+bool HaveDifferentProfiles(ResourceProfile a, ResourceProfile b);
+
+}  // namespace gpusim
+}  // namespace orion
+
+#endif  // SRC_GPUSIM_KERNEL_H_

@@ -1,0 +1,72 @@
+#include "src/gpusim/trace_export.h"
+
+#include <ostream>
+
+namespace orion {
+namespace gpusim {
+namespace {
+
+// Minimal JSON string escaping for kernel names (quotes, backslashes,
+// control characters).
+void WriteJsonString(std::ostream& os, const std::string& value) {
+  os << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TraceCollector::RecordInto(Device& device, const std::string& track_name) {
+  track_name_ = track_name;
+  device.set_kernel_trace_sink(
+      [this](const KernelExecRecord& record) { records_.push_back(record); });
+}
+
+void TraceCollector::WriteChromeTrace(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  // Track-name metadata event.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":";
+  WriteJsonString(os, track_name_);
+  os << "}}";
+  first = false;
+  for (const KernelExecRecord& record : records_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"name\":";
+    WriteJsonString(os, record.name);
+    os << ",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << record.start
+       << ",\"dur\":" << (record.end - record.start) << ",\"pid\":0,\"tid\":" << record.stream
+       << ",\"args\":{\"kernel_id\":" << record.kernel_id
+       << ",\"sm_needed\":" << record.sm_needed << "}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace gpusim
+}  // namespace orion

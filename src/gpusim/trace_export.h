@@ -1,0 +1,42 @@
+// Chrome-trace (about://tracing / Perfetto) export of kernel execution
+// records. Each kernel becomes a complete event ("ph":"X") on a track per
+// stream, making collocation schedules visually inspectable — which kernels
+// overlapped, where the scheduler throttled, where the GPU idled.
+#ifndef SRC_GPUSIM_TRACE_EXPORT_H_
+#define SRC_GPUSIM_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device.h"
+
+namespace orion {
+namespace gpusim {
+
+// Collects execution records from a device (install via RecordInto) and
+// serialises them in the Chrome trace-event JSON array format.
+class TraceCollector {
+ public:
+  // Installs this collector as the device's kernel trace sink. Only one sink
+  // can be active per device; the collector must outlive the device's use.
+  void RecordInto(Device& device, const std::string& track_name = "gpu");
+
+  const std::vector<KernelExecRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // Chrome trace-event format: a JSON array of {"name","ph":"X","ts","dur",
+  // "pid","tid"} events, timestamps in µs. Loadable by chrome://tracing and
+  // https://ui.perfetto.dev.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  std::string track_name_ = "gpu";
+  std::vector<KernelExecRecord> records_;
+};
+
+}  // namespace gpusim
+}  // namespace orion
+
+#endif  // SRC_GPUSIM_TRACE_EXPORT_H_

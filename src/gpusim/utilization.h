@@ -1,0 +1,56 @@
+// GPU utilization timeline tracking.
+//
+// The device model reports piecewise-constant utilization between simulator
+// events: compute throughput utilization, memory bandwidth utilization, and
+// fraction of busy SMs (the three metrics defined in §2 of the paper).
+// Benches use both time-weighted averages (Table 1) and downsampled
+// timelines (Figures 1, 8, 9).
+#ifndef SRC_GPUSIM_UTILIZATION_H_
+#define SRC_GPUSIM_UTILIZATION_H_
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace gpusim {
+
+struct UtilizationSample {
+  TimeUs start = 0.0;
+  TimeUs end = 0.0;
+  double compute = 0.0;   // fraction of peak compute throughput in use
+  double membw = 0.0;     // fraction of peak memory bandwidth in use
+  double sm_busy = 0.0;   // fraction of SMs executing at least one warp
+};
+
+class UtilizationTracker {
+ public:
+  void Record(TimeUs start, TimeUs end, double compute, double membw, double sm_busy);
+
+  // Time-weighted averages over everything recorded so far.
+  double AverageCompute() const { return compute_.average(); }
+  double AverageMembw() const { return membw_.average(); }
+  double AverageSmBusy() const { return sm_busy_.average(); }
+
+  // Averages restricted to [from, to) — used to skip warm-up.
+  UtilizationSample AverageOver(TimeUs from, TimeUs to) const;
+
+  // Downsamples the timeline into `buckets` equal-width windows over
+  // [from, to); each bucket holds the time-weighted mean of its window.
+  std::vector<UtilizationSample> Timeline(TimeUs from, TimeUs to, int buckets) const;
+
+  const std::vector<UtilizationSample>& samples() const { return samples_; }
+  void Clear();
+
+ private:
+  std::vector<UtilizationSample> samples_;
+  TimeWeightedStats compute_;
+  TimeWeightedStats membw_;
+  TimeWeightedStats sm_busy_;
+};
+
+}  // namespace gpusim
+}  // namespace orion
+
+#endif  // SRC_GPUSIM_UTILIZATION_H_

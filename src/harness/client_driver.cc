@@ -1,0 +1,176 @@
+#include "src/harness/client_driver.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace harness {
+
+ClientDriver::ClientDriver(Simulator* sim, core::Scheduler* scheduler, core::ClientId id,
+                           const ClientConfig& config, const gpusim::DeviceSpec& device,
+                           DurationUs op_overhead_us, Rng rng,
+                           std::size_t swap_bytes_per_request)
+    : sim_(sim),
+      scheduler_(scheduler),
+      id_(id),
+      config_(config),
+      op_overhead_us_(op_overhead_us),
+      rng_(rng) {
+  ORION_CHECK(sim_ != nullptr && scheduler_ != nullptr);
+  switch (config_.arrivals) {
+    case ClientConfig::Arrivals::kClosedLoop:
+      arrivals_ = trace::MakeClosedLoop();
+      break;
+    case ClientConfig::Arrivals::kPoisson:
+      arrivals_ = trace::MakePoisson(config_.rps);
+      break;
+    case ClientConfig::Arrivals::kUniform:
+      arrivals_ = trace::MakeUniform(config_.rps);
+      break;
+    case ClientConfig::Arrivals::kApollo:
+      arrivals_ = trace::MakeApollo(config_.rps);
+      break;
+  }
+  template_ops_ = workloads::BuildRequestOps(device, config_.workload);
+  if (config_.use_cuda_graphs) {
+    // Capture runs of consecutive kernel launches into graph ops of at most
+    // kGraphCaptureLimit kernels (frameworks capture per layer block).
+    constexpr std::size_t kGraphCaptureLimit = 32;
+    std::vector<runtime::Op> captured;
+    std::size_t i = 0;
+    while (i < template_ops_.size()) {
+      if (template_ops_[i].type != runtime::OpType::kKernelLaunch) {
+        captured.push_back(template_ops_[i]);
+        ++i;
+        continue;
+      }
+      runtime::Op graph;
+      graph.type = runtime::OpType::kGraphLaunch;
+      while (i < template_ops_.size() &&
+             template_ops_[i].type == runtime::OpType::kKernelLaunch &&
+             graph.graph_kernels.size() < kGraphCaptureLimit) {
+        graph.graph_kernels.push_back(template_ops_[i].kernel);
+        ++i;
+      }
+      captured.push_back(std::move(graph));
+    }
+    for (std::size_t j = 0; j < captured.size(); ++j) {
+      captured[j].index_in_request = static_cast<std::uint32_t>(j);
+      captured[j].end_of_request = j + 1 == captured.size();
+    }
+    template_ops_ = std::move(captured);
+  }
+  if (swap_bytes_per_request > 0) {
+    // Layer-by-layer offloading (§5.1.3): spread the non-resident state over
+    // several swap-in copies interleaved with the request's kernels, so the
+    // PCIe traffic overlaps execution instead of serialising ahead of it.
+    constexpr int kSwapGroups = 8;
+    const std::size_t group_bytes = (swap_bytes_per_request + kSwapGroups - 1) / kSwapGroups;
+    std::vector<runtime::Op> with_swaps;
+    const std::size_t stride = std::max<std::size_t>(1, template_ops_.size() / kSwapGroups);
+    for (std::size_t i = 0; i < template_ops_.size(); ++i) {
+      if (i % stride == 0 && i / stride < kSwapGroups) {
+        runtime::Op swap;
+        swap.type = runtime::OpType::kMemcpyH2D;
+        swap.bytes = group_bytes;
+        swap.blocking = false;
+        with_swaps.push_back(swap);
+      }
+      with_swaps.push_back(template_ops_[i]);
+    }
+    // Re-stamp indices and the end-of-request marker.
+    for (std::size_t i = 0; i < with_swaps.size(); ++i) {
+      with_swaps[i].index_in_request = static_cast<std::uint32_t>(i);
+      with_swaps[i].end_of_request = i + 1 == with_swaps.size();
+    }
+    template_ops_ = std::move(with_swaps);
+  }
+  for (runtime::Op& op : template_ops_) {
+    op.client_id = static_cast<std::uint64_t>(id_);
+  }
+}
+
+std::string ClientDriver::name() const {
+  return workloads::WorkloadName(config_.workload) + (config_.high_priority ? "/hp" : "/be");
+}
+
+void ClientDriver::Start() {
+  if (arrivals_->closed_loop()) {
+    pending_arrivals_.push_back(sim_->now());
+    StartNextRequest();
+    return;
+  }
+  // Randomise the phase of the first arrival so collocated clients do not
+  // start in lockstep.
+  sim_->ScheduleAfter(rng_.UniformDouble(0.0, arrivals_->NextInterarrival(rng_)),
+                      [this]() { OnArrival(); });
+}
+
+void ClientDriver::ScheduleNextArrival() {
+  sim_->ScheduleAfter(arrivals_->NextInterarrival(rng_), [this]() { OnArrival(); });
+}
+
+void ClientDriver::OnArrival() {
+  pending_arrivals_.push_back(sim_->now());
+  ScheduleNextArrival();
+  if (!request_in_flight_) {
+    StartNextRequest();
+  }
+}
+
+void ClientDriver::StartNextRequest() {
+  if (request_in_flight_ || pending_arrivals_.empty()) {
+    return;
+  }
+  request_in_flight_ = true;
+  current_arrival_ = pending_arrivals_.front();
+  pending_arrivals_.pop_front();
+  current_start_ = sim_->now();
+  next_op_ = 0;
+  ++next_request_id_;
+  SubmitNextOp();
+}
+
+void ClientDriver::SubmitNextOp() {
+  ORION_CHECK(next_op_ < template_ops_.size());
+  runtime::Op op = template_ops_[next_op_];
+  op.request_id = next_request_id_;
+  const bool last = op.end_of_request;
+  const bool blocking = op.blocking;
+  ++next_op_;
+
+  core::SchedOp sched_op;
+  sched_op.op = std::move(op);
+  if (last) {
+    sched_op.on_complete = [this]() { OnRequestComplete(); };
+  } else if (blocking) {
+    sched_op.on_complete = [this]() {
+      sim_->ScheduleAfter(op_overhead_us_, [this]() { SubmitNextOp(); });
+    };
+  }
+  scheduler_->Enqueue(id_, std::move(sched_op));
+  if (!last && !blocking) {
+    sim_->ScheduleAfter(op_overhead_us_, [this]() { SubmitNextOp(); });
+  }
+}
+
+void ClientDriver::OnRequestComplete() {
+  const TimeUs now = sim_->now();
+  ++completed_total_;
+  if (now >= measure_from_) {
+    latencies_.Add(now - current_arrival_);
+    queueing_.Add(current_start_ - current_arrival_);
+    service_.Add(now - current_start_);
+    ++completed_measured_;
+  }
+  request_in_flight_ = false;
+  if (arrivals_->closed_loop()) {
+    pending_arrivals_.push_back(now);
+  }
+  // A queued (or just-pushed) arrival starts immediately.
+  sim_->ScheduleAfter(op_overhead_us_, [this]() { StartNextRequest(); });
+}
+
+}  // namespace harness
+}  // namespace orion

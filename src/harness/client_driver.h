@@ -1,0 +1,109 @@
+// Client driver: emulates one DNN application process.
+//
+// A driver owns one workload (model + task + batch size) and one arrival
+// process. For every request it feeds the request's ops one by one into the
+// scheduler's software queue, paced by the host-side per-op submission
+// overhead (the framework + interception wrapper cost, §6.5); blocking ops
+// stall the driver until the device completes them, and a new request never
+// starts before the previous one finished (the application thread is
+// synchronous at request granularity). Latency is measured from request
+// arrival to completion of the request's last op — queueing included.
+#ifndef SRC_HARNESS_CLIENT_DRIVER_H_
+#define SRC_HARNESS_CLIENT_DRIVER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/scheduler.h"
+#include "src/trace/arrivals.h"
+#include "src/workloads/models.h"
+
+namespace orion {
+namespace harness {
+
+struct ClientConfig {
+  workloads::WorkloadSpec workload;
+  bool high_priority = false;
+  enum class Arrivals { kClosedLoop, kPoisson, kUniform, kApollo } arrivals =
+      Arrivals::kClosedLoop;
+  double rps = 0.0;  // ignored for closed loop
+
+  // §7 extension: submit each request's kernels as captured CUDA graphs
+  // (one host call per graph of up to ~32 kernels) instead of one call per
+  // kernel. Cuts host launch overhead; costs the scheduler its kernel
+  // granularity.
+  bool use_cuda_graphs = false;
+
+  // §5.1.3 extension: layer-by-layer offloading. When the collocation does
+  // not fit in GPU memory, a best-effort client with allow_swapping streams
+  // the non-resident part of its model in and out every request (extra H2D
+  // traffic interleaved with its kernels). Without a swapping-enabled
+  // client, an over-capacity collocation is rejected (the paper's §5.1.3
+  // assumption that the cluster manager only collocates fitting jobs).
+  bool allow_swapping = false;
+};
+
+class ClientDriver {
+ public:
+  // `swap_bytes_per_request` > 0 interleaves that much extra H2D traffic
+  // into every request (layer-by-layer offloading of non-resident state).
+  ClientDriver(Simulator* sim, core::Scheduler* scheduler, core::ClientId id,
+               const ClientConfig& config, const gpusim::DeviceSpec& device,
+               DurationUs op_overhead_us, Rng rng, std::size_t swap_bytes_per_request = 0);
+
+  void Start();
+
+  core::ClientId id() const { return id_; }
+  const ClientConfig& config() const { return config_; }
+  std::string name() const;
+
+  // Completions whose timestamp falls at or after `measure_from`.
+  void set_measure_from(TimeUs measure_from) { measure_from_ = measure_from; }
+  const LatencyRecorder& latencies() const { return latencies_; }
+  // End-to-end latency decomposition: time a request waited at the client
+  // before its first op was submitted (queueing) and time from first
+  // submission to completion (service). queueing + service == latency.
+  const LatencyRecorder& queueing() const { return queueing_; }
+  const LatencyRecorder& service() const { return service_; }
+  std::size_t completed_total() const { return completed_total_; }
+  std::size_t completed_measured() const { return completed_measured_; }
+
+ private:
+  void ScheduleNextArrival();
+  void OnArrival();
+  void StartNextRequest();
+  void SubmitNextOp();
+  void OnRequestComplete();
+
+  Simulator* sim_;
+  core::Scheduler* scheduler_;
+  core::ClientId id_;
+  ClientConfig config_;
+  DurationUs op_overhead_us_;
+  Rng rng_;
+  std::unique_ptr<trace::ArrivalProcess> arrivals_;
+  std::vector<runtime::Op> template_ops_;
+
+  std::deque<TimeUs> pending_arrivals_;
+  bool request_in_flight_ = false;
+  TimeUs current_arrival_ = 0.0;
+  std::size_t next_op_ = 0;
+  std::uint64_t next_request_id_ = 0;
+
+  TimeUs measure_from_ = 0.0;
+  LatencyRecorder latencies_;
+  LatencyRecorder queueing_;
+  LatencyRecorder service_;
+  TimeUs current_start_ = 0.0;
+  std::size_t completed_total_ = 0;
+  std::size_t completed_measured_ = 0;
+};
+
+}  // namespace harness
+}  // namespace orion
+
+#endif  // SRC_HARNESS_CLIENT_DRIVER_H_

@@ -1,0 +1,249 @@
+#include "src/harness/experiment.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/baselines/passthrough.h"
+#include "src/baselines/reef.h"
+#include "src/baselines/temporal.h"
+#include "src/baselines/ticktock.h"
+#include "src/common/check.h"
+#include "src/runtime/gpu_runtime.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace harness {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDedicated:
+      return "ideal";
+    case SchedulerKind::kMig:
+      return "mig";
+    case SchedulerKind::kTemporal:
+      return "temporal";
+    case SchedulerKind::kStreams:
+      return "streams";
+    case SchedulerKind::kMps:
+      return "mps";
+    case SchedulerKind::kReef:
+      return "reef";
+    case SchedulerKind::kTickTock:
+      return "ticktock";
+    case SchedulerKind::kOrion:
+      return "orion";
+  }
+  return "invalid";
+}
+
+std::unique_ptr<core::Scheduler> MakeScheduler(SchedulerKind kind,
+                                               const core::OrionOptions& orion_options) {
+  switch (kind) {
+    case SchedulerKind::kDedicated:
+      // Per-device pass-through; RunExperiment instantiates one per client.
+      return std::make_unique<baselines::PassthroughScheduler>("ideal", true, 0.0);
+    case SchedulerKind::kMig:
+      // Per-partition pass-through; RunExperiment builds partition devices.
+      return std::make_unique<baselines::PassthroughScheduler>("mig", true, 0.0);
+    case SchedulerKind::kTemporal:
+      return std::make_unique<baselines::TemporalScheduler>();
+    case SchedulerKind::kStreams:
+      return baselines::MakeStreamsBaseline();
+    case SchedulerKind::kMps:
+      return baselines::MakeMpsBaseline();
+    case SchedulerKind::kReef:
+      return std::make_unique<baselines::ReefScheduler>();
+    case SchedulerKind::kTickTock:
+      return std::make_unique<baselines::TickTockScheduler>();
+    case SchedulerKind::kOrion:
+      return std::make_unique<core::OrionScheduler>(orion_options);
+  }
+  ORION_CHECK_MSG(false, "unhandled scheduler kind");
+  return nullptr;
+}
+
+const ClientResult& ExperimentResult::hp() const {
+  for (const ClientResult& client : clients) {
+    if (client.high_priority) {
+      return client;
+    }
+  }
+  ORION_CHECK_MSG(false, "no high-priority client in result");
+  return clients.front();
+}
+
+double ExperimentResult::TotalThroughput() const {
+  double total = 0.0;
+  for (const ClientResult& client : clients) {
+    total += client.throughput_rps;
+  }
+  return total;
+}
+
+double CostSavings(double dedicated_throughput, double collocated_throughput) {
+  ORION_CHECK(dedicated_throughput > 0.0);
+  return 2.0 * collocated_throughput / dedicated_throughput;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  ORION_CHECK(!config.clients.empty());
+
+  // --- Offline profiling phase (§5.2), one profile per distinct workload. ---
+  std::unordered_map<std::string, std::unique_ptr<profiler::WorkloadProfile>> profiles;
+  for (const ClientConfig& client : config.clients) {
+    const std::string key = workloads::WorkloadName(client.workload);
+    if (profiles.count(key) > 0) {
+      continue;
+    }
+    profiler::ProfileOptions opts = config.profile_options;
+    opts.launch_overhead_us = config.launch_overhead_us;
+    auto profile = std::make_unique<profiler::WorkloadProfile>(
+        profiler::ProfileWorkload(config.device, client.workload, opts));
+    profiles.emplace(key, std::move(profile));
+  }
+
+  // --- Memory admission (§5.1.3). Shared-GPU collocations must fit in
+  // device memory; best-effort clients with allow_swapping absorb any
+  // overflow by streaming state in per request (layer-by-layer offloading).
+  const bool shares_gpu = config.scheduler != SchedulerKind::kDedicated &&
+                          config.scheduler != SchedulerKind::kMig;
+  std::vector<std::size_t> swap_bytes(config.clients.size(), 0);
+  std::size_t memory_deficit = 0;
+  if (shares_gpu) {
+    std::size_t total_state = 0;
+    std::vector<std::size_t> state(config.clients.size(), 0);
+    for (std::size_t i = 0; i < config.clients.size(); ++i) {
+      state[i] = workloads::ApproxModelStateBytes(config.clients[i].workload);
+      total_state += state[i];
+    }
+    if (total_state > config.device.memory_bytes) {
+      memory_deficit = total_state - config.device.memory_bytes;
+      std::size_t swapper_state = 0;
+      for (std::size_t i = 0; i < config.clients.size(); ++i) {
+        if (config.clients[i].allow_swapping && !config.clients[i].high_priority) {
+          swapper_state += state[i];
+        }
+      }
+      ORION_CHECK_MSG(swapper_state >= memory_deficit,
+                      "collocation exceeds GPU memory by "
+                          << memory_deficit
+                          << " bytes and no best-effort client allows swapping (§5.1.3)");
+      for (std::size_t i = 0; i < config.clients.size(); ++i) {
+        if (config.clients[i].allow_swapping && !config.clients[i].high_priority) {
+          swap_bytes[i] = static_cast<std::size_t>(
+              static_cast<double>(memory_deficit) * state[i] / swapper_state);
+        }
+      }
+    }
+  }
+
+  // --- Online phase. ---
+  Simulator sim;
+  std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
+  std::vector<std::unique_ptr<core::Scheduler>> schedulers;
+  std::vector<std::unique_ptr<ClientDriver>> drivers;
+  Rng root_rng(config.seed);
+
+  const bool dedicated = config.scheduler == SchedulerKind::kDedicated;
+  const bool mig = config.scheduler == SchedulerKind::kMig;
+  const int num_clients = static_cast<int>(config.clients.size());
+
+  if (dedicated || mig) {
+    // Ideal: a private full device per client. MIG: a private 1/N static
+    // partition per client — SMs, compute, bandwidth and memory all shrink,
+    // and a client can never harvest its neighbours' idle capacity (§4).
+    gpusim::DeviceSpec per_client = config.device;
+    if (mig) {
+      const int n = std::max(1, num_clients);
+      per_client.name += "-mig-1of" + std::to_string(n);
+      per_client.num_sms = std::max(1, per_client.num_sms / n);
+      per_client.peak_fp32_tflops /= n;
+      per_client.peak_membw_gbps /= n;
+      per_client.memory_bytes /= static_cast<std::size_t>(n);
+    }
+    for (int i = 0; i < num_clients; ++i) {
+      const ClientConfig& cc = config.clients[static_cast<std::size_t>(i)];
+      auto rt = std::make_unique<runtime::GpuRuntime>(&sim, per_client);
+      rt->device().set_pcie_priority_scheduling(config.pcie_priority_scheduling);
+      auto sched = MakeScheduler(config.scheduler, config.orion);
+      core::SchedClientInfo info;
+      info.id = i;
+      info.name = workloads::WorkloadName(cc.workload);
+      info.high_priority = cc.high_priority;
+      info.profile = profiles.at(info.name).get();
+      sched->Attach(&sim, rt.get(), {info});
+      drivers.push_back(std::make_unique<ClientDriver>(&sim, sched.get(), i, cc, per_client,
+                                                       config.launch_overhead_us,
+                                                       root_rng.Fork(i + 1)));
+      runtimes.push_back(std::move(rt));
+      schedulers.push_back(std::move(sched));
+    }
+  } else {
+    auto rt = std::make_unique<runtime::GpuRuntime>(&sim, config.device);
+    rt->device().set_pcie_priority_scheduling(config.pcie_priority_scheduling);
+    auto sched = MakeScheduler(config.scheduler, config.orion);
+    std::vector<core::SchedClientInfo> infos;
+    for (int i = 0; i < num_clients; ++i) {
+      const ClientConfig& cc = config.clients[static_cast<std::size_t>(i)];
+      core::SchedClientInfo info;
+      info.id = i;
+      info.name = workloads::WorkloadName(cc.workload);
+      info.high_priority = cc.high_priority;
+      info.profile = profiles.at(info.name).get();
+      infos.push_back(std::move(info));
+    }
+    sched->Attach(&sim, rt.get(), infos);
+    const DurationUs overhead =
+        config.launch_overhead_us * sched->HostOverheadMultiplier(num_clients);
+    for (int i = 0; i < num_clients; ++i) {
+      drivers.push_back(std::make_unique<ClientDriver>(
+          &sim, sched.get(), i, config.clients[static_cast<std::size_t>(i)], config.device,
+          overhead, root_rng.Fork(i + 1), swap_bytes[static_cast<std::size_t>(i)]));
+    }
+    runtimes.push_back(std::move(rt));
+    schedulers.push_back(std::move(sched));
+  }
+
+  const TimeUs measure_from = config.warmup_us;
+  const TimeUs horizon = config.warmup_us + config.duration_us;
+  for (auto& driver : drivers) {
+    driver->set_measure_from(measure_from);
+    driver->Start();
+  }
+  sim.RunUntil(horizon);
+
+  // --- Collect. ---
+  ExperimentResult result;
+  result.scheduler_name = SchedulerKindName(config.scheduler);
+  result.window_us = config.duration_us;
+  result.memory_deficit_bytes = memory_deficit;
+  result.swapping_active = memory_deficit > 0;
+  for (auto& driver : drivers) {
+    ClientResult cr;
+    cr.name = driver->name();
+    cr.high_priority = driver->config().high_priority;
+    cr.completed = driver->completed_measured();
+    cr.throughput_rps = static_cast<double>(cr.completed) / UsToSec(config.duration_us);
+    cr.latency = driver->latencies();
+    cr.queueing = driver->queueing();
+    cr.service = driver->service();
+    result.clients.push_back(std::move(cr));
+  }
+  // Utilization of the shared device (or the high-priority client's device
+  // in the Ideal configuration).
+  std::size_t util_index = 0;
+  if (dedicated || mig) {
+    for (std::size_t i = 0; i < config.clients.size(); ++i) {
+      if (config.clients[i].high_priority) {
+        util_index = i;
+        break;
+      }
+    }
+  }
+  result.utilization =
+      runtimes[util_index]->device().utilization().AverageOver(measure_from, horizon);
+  return result;
+}
+
+}  // namespace harness
+}  // namespace orion

@@ -1,0 +1,93 @@
+// Collocation experiment harness.
+//
+// Reproduces the paper's evaluation methodology (§6.1): profile each workload
+// offline on a dedicated simulated GPU, then run the collocation with the
+// chosen scheduler, measure per-client request latency distributions and
+// throughput over a post-warmup window, and report device utilization.
+// The Ideal baseline (each job on its own dedicated GPU) runs every client
+// on a private device instance inside the same virtual timeline.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/orion_scheduler.h"
+#include "src/core/scheduler.h"
+#include "src/gpusim/utilization.h"
+#include "src/harness/client_driver.h"
+#include "src/profiler/profiler.h"
+
+namespace orion {
+namespace harness {
+
+enum class SchedulerKind {
+  kDedicated,  // Ideal: one GPU per job
+  kMig,        // static spatial partitioning (§4): 1/N of SMs, bandwidth and
+               // memory per client — coarse-grained, no harvesting of the
+               // partner's idle capacity
+  kTemporal,
+  kStreams,
+  kMps,
+  kReef,
+  kTickTock,
+  kOrion,
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+std::unique_ptr<core::Scheduler> MakeScheduler(SchedulerKind kind,
+                                               const core::OrionOptions& orion_options);
+
+struct ExperimentConfig {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
+  SchedulerKind scheduler = SchedulerKind::kOrion;
+  core::OrionOptions orion;
+  std::vector<ClientConfig> clients;
+
+  DurationUs warmup_us = SecToUs(1.0);
+  DurationUs duration_us = SecToUs(20.0);  // measurement window after warmup
+  DurationUs launch_overhead_us = 6.0;     // host cost per intercepted op
+  std::uint64_t seed = 42;
+  profiler::ProfileOptions profile_options;
+  // §5.1.3 extension: schedule pending PCIe copies by stream priority.
+  bool pcie_priority_scheduling = false;
+};
+
+struct ClientResult {
+  std::string name;
+  bool high_priority = false;
+  std::size_t completed = 0;       // completions inside the measurement window
+  double throughput_rps = 0.0;     // requests (or iterations) per second
+  LatencyRecorder latency;         // µs, measurement window only
+  // latency = queueing (waiting at the client behind earlier requests)
+  //         + service (first submission to completion on the device).
+  LatencyRecorder queueing;
+  LatencyRecorder service;
+};
+
+struct ExperimentResult {
+  std::string scheduler_name;
+  std::vector<ClientResult> clients;
+  gpusim::UtilizationSample utilization;  // averages over the window
+  DurationUs window_us = 0.0;
+  // §5.1.3 memory accounting: by how much the collocation exceeded GPU
+  // memory, and whether layer-by-layer swapping was engaged to absorb it.
+  std::size_t memory_deficit_bytes = 0;
+  bool swapping_active = false;
+
+  const ClientResult& hp() const;
+  double TotalThroughput() const;
+};
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Paper Table 4 / §6.2: cost savings of collocating on 1 GPU vs running each
+// job on its own GPU:  2 * Throughput_collocated / Throughput_dedicated.
+double CostSavings(double dedicated_throughput, double collocated_throughput);
+
+}  // namespace harness
+}  // namespace orion
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,32 @@
+#include "src/runtime/memory_manager.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace runtime {
+
+MemoryManager::MemoryManager(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+MemHandle MemoryManager::Allocate(std::size_t bytes) {
+  if (bytes > available()) {
+    return kInvalidMemHandle;
+  }
+  const MemHandle handle = next_handle_++;
+  allocations_.emplace(handle, bytes);
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  return handle;
+}
+
+void MemoryManager::Free(MemHandle handle) {
+  auto it = allocations_.find(handle);
+  ORION_CHECK_MSG(it != allocations_.end(), "free of unknown handle " << handle);
+  ORION_CHECK(used_ >= it->second);
+  used_ -= it->second;
+  allocations_.erase(it);
+}
+
+}  // namespace runtime
+}  // namespace orion

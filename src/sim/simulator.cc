@@ -1,0 +1,85 @@
+#include "src/sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+
+EventHandle Simulator::ScheduleAt(TimeUs when, Callback cb) {
+  ORION_CHECK_MSG(when >= now_, "event scheduled in the past: " << when << " < " << now_);
+  ORION_CHECK(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+  pending_.insert(id);
+  ++live_events_;
+  return EventHandle(id);
+}
+
+EventHandle Simulator::ScheduleAfter(DurationUs delay, Callback cb) {
+  ORION_CHECK_MSG(delay >= 0.0, "negative delay: " << delay);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::Cancel(EventHandle handle) {
+  if (!handle.valid()) {
+    return;
+  }
+  // Cancelling an event that already ran (or was already cancelled) is a
+  // no-op; ids are never reused so the pending_ check is authoritative.
+  if (pending_.count(handle.id()) > 0 && cancelled_.insert(handle.id()).second) {
+    ORION_CHECK(live_events_ > 0);
+    --live_events_;
+  }
+}
+
+bool Simulator::Step(TimeUs until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      pending_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) {
+      return false;
+    }
+    // Move the callback out before popping; the callback may schedule more
+    // events, which mutates the queue.
+    Event event = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    pending_.erase(event.id);
+    ORION_CHECK(live_events_ > 0);
+    --live_events_;
+    now_ = event.when;
+    ++events_processed_;
+    event.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::RunUntil(TimeUs until) {
+  std::size_t ran = 0;
+  while (Step(until)) {
+    ++ran;
+  }
+  // Advance the clock to the horizon so repeated RunUntil calls are
+  // monotonic even if no event landed exactly at `until`.
+  if (until > now_ && until < std::numeric_limits<TimeUs>::max()) {
+    now_ = until;
+  }
+  return ran;
+}
+
+std::size_t Simulator::RunUntilIdle() {
+  std::size_t ran = 0;
+  while (Step(std::numeric_limits<TimeUs>::max())) {
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace orion

@@ -1,0 +1,100 @@
+// Discrete-event simulation engine.
+//
+// The entire Orion reproduction runs in virtual time on this engine. The
+// real system's concurrency (client threads, a scheduler thread polling
+// software queues, the asynchronous GPU) is mapped onto deterministic events:
+// arrivals, op enqueues, kernel dispatches and completions. Determinism comes
+// from (a) a strict (time, sequence) ordering of events and (b) seeded RNGs.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time_types.h"
+
+namespace orion {
+
+// Handle that can cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but its callback is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeUs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute virtual time `when` (>= now()).
+  EventHandle ScheduleAt(TimeUs when, Callback cb);
+
+  // Schedules `cb` to run `delay` after the current time.
+  EventHandle ScheduleAfter(DurationUs delay, Callback cb);
+
+  // Cancels a previously scheduled event. Safe to call on handles whose
+  // event already ran (no-op).
+  void Cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or the clock passes `until`.
+  // Events at exactly `until` still run. Returns the number of events run.
+  std::size_t RunUntil(TimeUs until);
+
+  // Runs until no events remain. Returns the number of events run.
+  std::size_t RunUntilIdle();
+
+  // True if no live (non-cancelled) events remain.
+  bool Idle() const { return live_events_ == 0; }
+
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    TimeUs when;
+    std::uint64_t seq;  // Tie-break: FIFO among events at the same timestamp.
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next live event. Returns false if the queue is empty
+  // or the next event is after `until`.
+  bool Step(TimeUs until);
+
+  TimeUs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<std::uint64_t> pending_;    // ids currently in queue_
+  std::unordered_set<std::uint64_t> cancelled_;  // subset of pending_
+};
+
+}  // namespace orion
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,76 @@
+#include "src/trace/arrivals.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace trace {
+
+UniformArrivals::UniformArrivals(double requests_per_second)
+    : period_us_(kUsPerSec / requests_per_second) {
+  ORION_CHECK(requests_per_second > 0.0);
+}
+
+DurationUs UniformArrivals::NextInterarrival(Rng& rng) {
+  (void)rng;
+  return period_us_;
+}
+
+std::string UniformArrivals::name() const {
+  return "uniform-" + std::to_string(static_cast<int>(kUsPerSec / period_us_ + 0.5)) + "rps";
+}
+
+PoissonArrivals::PoissonArrivals(double requests_per_second)
+    : mean_us_(kUsPerSec / requests_per_second) {
+  ORION_CHECK(requests_per_second > 0.0);
+}
+
+DurationUs PoissonArrivals::NextInterarrival(Rng& rng) { return rng.Exponential(mean_us_); }
+
+std::string PoissonArrivals::name() const {
+  return "poisson-" + std::to_string(static_cast<int>(kUsPerSec / mean_us_ + 0.5)) + "rps";
+}
+
+ApolloArrivals::ApolloArrivals(double requests_per_second)
+    : period_us_(kUsPerSec / requests_per_second) {
+  ORION_CHECK(requests_per_second > 0.0);
+}
+
+DurationUs ApolloArrivals::NextInterarrival(Rng& rng) {
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    // Burst members land within a small fraction of the frame window.
+    return rng.UniformDouble(0.02, 0.08) * period_us_;
+  }
+  // ~8% of frames carry a burst of 1-3 extra detector invocations.
+  if (rng.NextDouble() < 0.08) {
+    burst_remaining_ = static_cast<int>(rng.UniformInt(1, 3));
+  }
+  // Near-periodic with bounded jitter (sensor clock drift, pipeline delay).
+  const double jitter = rng.UniformDouble(-0.15, 0.15);
+  return std::max(0.05 * period_us_, period_us_ * (1.0 + jitter));
+}
+
+std::string ApolloArrivals::name() const {
+  return "apollo-" + std::to_string(static_cast<int>(kUsPerSec / period_us_ + 0.5)) + "rps";
+}
+
+DurationUs ClosedLoopArrivals::NextInterarrival(Rng& rng) {
+  (void)rng;
+  return 0.0;
+}
+
+std::unique_ptr<ArrivalProcess> MakeUniform(double rps) {
+  return std::make_unique<UniformArrivals>(rps);
+}
+std::unique_ptr<ArrivalProcess> MakePoisson(double rps) {
+  return std::make_unique<PoissonArrivals>(rps);
+}
+std::unique_ptr<ArrivalProcess> MakeApollo(double rps) {
+  return std::make_unique<ApolloArrivals>(rps);
+}
+std::unique_ptr<ArrivalProcess> MakeClosedLoop() { return std::make_unique<ClosedLoopArrivals>(); }
+
+}  // namespace trace
+}  // namespace orion

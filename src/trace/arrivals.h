@@ -1,0 +1,92 @@
+// Request arrival processes (§6.1).
+//
+// The paper drives inference jobs with three arrival patterns:
+//   * Uniform inter-arrival — autonomous-driving style periodic requests,
+//   * Poisson — event-driven services (rates from the Azure Functions trace,
+//     Table 3),
+//   * the Apollo object-detection trace from the DISB benchmark.
+// Training jobs submit iterations in a closed loop.
+//
+// The real Apollo trace is not redistributable here; ApolloArrivals is a
+// seeded synthetic stand-in: near-periodic camera-frame arrivals with bounded
+// jitter plus occasional short bursts (multiple sensor events in one frame
+// window), which reproduces the queueing pressure the trace exerts.
+#ifndef SRC_TRACE_ARRIVALS_H_
+#define SRC_TRACE_ARRIVALS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace trace {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Time until the next request arrives. Called once per arrival.
+  virtual DurationUs NextInterarrival(Rng& rng) = 0;
+
+  // True for closed-loop processes: the next request is issued immediately
+  // after the previous one completes, and NextInterarrival is not used.
+  virtual bool closed_loop() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+// Fixed-rate arrivals: inter-arrival time is exactly 1/rps.
+class UniformArrivals : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double requests_per_second);
+  DurationUs NextInterarrival(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  DurationUs period_us_;
+};
+
+// Poisson arrivals: exponential inter-arrival with mean 1/rps.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double requests_per_second);
+  DurationUs NextInterarrival(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  DurationUs mean_us_;
+};
+
+// Synthetic Apollo-like trace (see file comment).
+class ApolloArrivals : public ArrivalProcess {
+ public:
+  // `requests_per_second` sets the base camera frame rate; bursts add ~10%
+  // extra requests on top.
+  explicit ApolloArrivals(double requests_per_second);
+  DurationUs NextInterarrival(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  DurationUs period_us_;
+  int burst_remaining_ = 0;
+};
+
+// Closed loop: back-to-back requests (training jobs, offline inference).
+class ClosedLoopArrivals : public ArrivalProcess {
+ public:
+  DurationUs NextInterarrival(Rng& rng) override;
+  bool closed_loop() const override { return true; }
+  std::string name() const override { return "closed-loop"; }
+};
+
+std::unique_ptr<ArrivalProcess> MakeUniform(double rps);
+std::unique_ptr<ArrivalProcess> MakePoisson(double rps);
+std::unique_ptr<ArrivalProcess> MakeApollo(double rps);
+std::unique_ptr<ArrivalProcess> MakeClosedLoop();
+
+}  // namespace trace
+}  // namespace orion
+
+#endif  // SRC_TRACE_ARRIVALS_H_

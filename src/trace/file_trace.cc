@@ -1,0 +1,88 @@
+#include "src/trace/file_trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace trace {
+
+std::vector<TimeUs> LoadArrivalTimestamps(std::istream& is) {
+  std::vector<TimeUs> timestamps;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    // Trim whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::istringstream field(line);
+    TimeUs value = 0.0;
+    ORION_CHECK_MSG(static_cast<bool>(field >> value),
+                    "malformed trace line " << line_number << ": " << line);
+    ORION_CHECK_MSG(timestamps.empty() || value >= timestamps.back(),
+                    "non-monotone timestamp at line " << line_number);
+    timestamps.push_back(value);
+  }
+  return timestamps;
+}
+
+void SaveArrivalTimestamps(const std::vector<TimeUs>& timestamps, std::ostream& os) {
+  os.precision(17);
+  os << "# arrival timestamps, microseconds, one per line\n";
+  for (const TimeUs t : timestamps) {
+    os << t << "\n";
+  }
+}
+
+ReplayArrivals::ReplayArrivals(std::vector<TimeUs> timestamps) {
+  ORION_CHECK_MSG(timestamps.size() >= 2, "a replayable trace needs >= 2 timestamps");
+  gaps_.reserve(timestamps.size() - 1);
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    gaps_.push_back(timestamps[i] - timestamps[i - 1]);
+  }
+}
+
+DurationUs ReplayArrivals::NextInterarrival(Rng& rng) {
+  (void)rng;
+  const DurationUs gap = gaps_[cursor_];
+  cursor_ = (cursor_ + 1) % gaps_.size();
+  return gap;
+}
+
+std::string ReplayArrivals::name() const {
+  return "replay-" + std::to_string(gaps_.size()) + "gaps";
+}
+
+double ReplayArrivals::mean_rps() const {
+  double total = 0.0;
+  for (const DurationUs gap : gaps_) {
+    total += gap;
+  }
+  return total > 0.0 ? static_cast<double>(gaps_.size()) / UsToSec(total) : 0.0;
+}
+
+std::unique_ptr<ArrivalProcess> MakeReplay(std::vector<TimeUs> timestamps) {
+  return std::make_unique<ReplayArrivals>(std::move(timestamps));
+}
+
+std::vector<TimeUs> RecordArrivals(ArrivalProcess& process, Rng& rng, std::size_t count) {
+  std::vector<TimeUs> timestamps;
+  timestamps.reserve(count);
+  TimeUs now = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    now += process.NextInterarrival(rng);
+    timestamps.push_back(now);
+  }
+  return timestamps;
+}
+
+}  // namespace trace
+}  // namespace orion

@@ -1,0 +1,53 @@
+// Arrival-trace file I/O and replay.
+//
+// The paper drives its Apollo experiments from a recorded trace's invocation
+// timestamps (§6.1). This module provides the equivalent workflow for any
+// trace: a plain text format (one monotone arrival timestamp in microseconds
+// per line, '#' comments allowed) plus a replaying ArrivalProcess that loops
+// the trace when it runs out — so a short recording can drive an arbitrarily
+// long experiment.
+#ifndef SRC_TRACE_FILE_TRACE_H_
+#define SRC_TRACE_FILE_TRACE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/arrivals.h"
+
+namespace orion {
+namespace trace {
+
+// Parses timestamps (µs, ascending). Aborts on malformed or non-monotone
+// input — a corrupted trace must not silently skew an experiment.
+std::vector<TimeUs> LoadArrivalTimestamps(std::istream& is);
+void SaveArrivalTimestamps(const std::vector<TimeUs>& timestamps, std::ostream& os);
+
+// Replays the inter-arrival gaps of a recorded trace, cycling when
+// exhausted. Requires at least two timestamps.
+class ReplayArrivals : public ArrivalProcess {
+ public:
+  explicit ReplayArrivals(std::vector<TimeUs> timestamps);
+
+  DurationUs NextInterarrival(Rng& rng) override;
+  std::string name() const override;
+
+  std::size_t trace_length() const { return gaps_.size(); }
+  double mean_rps() const;
+
+ private:
+  std::vector<DurationUs> gaps_;
+  std::size_t cursor_ = 0;
+};
+
+std::unique_ptr<ArrivalProcess> MakeReplay(std::vector<TimeUs> timestamps);
+
+// Convenience: records `count` arrivals from any process into a timestamp
+// vector (e.g. to snapshot the synthetic Apollo generator into a file).
+std::vector<TimeUs> RecordArrivals(ArrivalProcess& process, Rng& rng, std::size_t count);
+
+}  // namespace trace
+}  // namespace orion
+
+#endif  // SRC_TRACE_FILE_TRACE_H_

@@ -1,0 +1,65 @@
+#include "src/trace/request_rates.h"
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace trace {
+
+double RequestsPerSecond(workloads::ModelId model, CollocationCase use_case) {
+  using workloads::ModelId;
+  switch (use_case) {
+    case CollocationCase::kInfInfUniform:
+      switch (model) {
+        case ModelId::kResNet50:
+          return 80.0;
+        case ModelId::kMobileNetV2:
+          return 100.0;
+        case ModelId::kResNet101:
+          return 40.0;
+        case ModelId::kBert:
+          return 8.0;
+        case ModelId::kTransformer:
+          return 20.0;
+        case ModelId::kLlmDecode:
+          return 2.0;  // extension workload; not part of Table 3
+      }
+      break;
+    case CollocationCase::kInfInfPoisson:
+      switch (model) {
+        case ModelId::kResNet50:
+          return 50.0;
+        case ModelId::kMobileNetV2:
+          return 65.0;
+        case ModelId::kResNet101:
+          return 25.0;
+        case ModelId::kBert:
+          return 5.0;
+        case ModelId::kTransformer:
+          return 12.0;
+        case ModelId::kLlmDecode:
+          return 1.5;  // extension workload; not part of Table 3
+      }
+      break;
+    case CollocationCase::kInfTrainPoisson:
+      switch (model) {
+        case ModelId::kResNet50:
+          return 15.0;
+        case ModelId::kMobileNetV2:
+          return 40.0;
+        case ModelId::kResNet101:
+          return 9.0;
+        case ModelId::kBert:
+          return 4.0;
+        case ModelId::kTransformer:
+          return 8.0;
+        case ModelId::kLlmDecode:
+          return 1.0;  // extension workload; not part of Table 3
+      }
+      break;
+  }
+  ORION_CHECK_MSG(false, "unhandled model/use-case combination");
+  return 0.0;
+}
+
+}  // namespace trace
+}  // namespace orion

@@ -1,0 +1,23 @@
+// Table 3 of the paper: requests-per-second for DNN inference jobs, chosen to
+// match the invocation rates of the top-20 Azure Functions (§6.1).
+#ifndef SRC_TRACE_REQUEST_RATES_H_
+#define SRC_TRACE_REQUEST_RATES_H_
+
+#include "src/workloads/models.h"
+
+namespace orion {
+namespace trace {
+
+enum class CollocationCase {
+  kInfInfUniform,   // inf-inf, best-effort uniform arrivals
+  kInfInfPoisson,   // inf-inf, Poisson arrivals
+  kInfTrainPoisson, // inf-train, high-priority Poisson arrivals
+};
+
+// Requests per second for `model` in the given collocation case (Table 3).
+double RequestsPerSecond(workloads::ModelId model, CollocationCase use_case);
+
+}  // namespace trace
+}  // namespace orion
+
+#endif  // SRC_TRACE_REQUEST_RATES_H_

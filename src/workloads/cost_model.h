@@ -1,0 +1,62 @@
+// Analytic roofline cost model for DNN kernels.
+//
+// The paper profiles each kernel's duration, compute-throughput utilization,
+// memory-bandwidth utilization and launch geometry with Nsight (§3.1, §5.2).
+// Without a GPU we derive the same quantities analytically: every layer op
+// reports its FLOPs, DRAM traffic, and launch geometry; the cost model turns
+// those into a KernelDesc for the target device:
+//
+//   sm_frac      = min(1, sm_needed / num_sms)           (small kernels cannot
+//                                                          fill the device)
+//   compute_rate = peak_flops * eff_c * sm_frac
+//   mem_rate     = peak_bw * eff_m * (0.25 + 0.75 * sm_frac)
+//                                                        (DRAM bandwidth needs
+//                                                         parallelism, but less
+//                                                         than compute does)
+//   duration     = max(flops / compute_rate, bytes / mem_rate) + fixed overhead
+//   utilizations = achieved rate / device peak
+//
+// Efficiencies eff_c / eff_m are per-op-class constants calibrated so the
+// model-zoo averages land in the ranges the paper's Table 1 reports.
+#ifndef SRC_WORKLOADS_COST_MODEL_H_
+#define SRC_WORKLOADS_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/kernel.h"
+
+namespace orion {
+namespace workloads {
+
+// One kernel in device-independent terms.
+struct KernelWork {
+  std::string name;
+  double flops = 0.0;          // fp32 FLOPs
+  double bytes = 0.0;          // DRAM bytes moved
+  gpusim::LaunchGeometry geometry;
+  double compute_eff = 0.55;   // fraction of peak compute achievable
+  double mem_eff = 0.75;       // fraction of peak bandwidth achievable
+  // Unique data footprint in elements (for memory-capacity estimation);
+  // defaults to bytes/4 when zero. Differs from `bytes` for kernels that
+  // re-stream their operands (convs, GEMMs).
+  double footprint_elems = 0.0;
+  bool has_roofline = true;    // Nsight produces a roofline for this kernel
+  gpusim::KernelPhase phase = gpusim::KernelPhase::kNone;
+};
+
+// Fixed per-kernel device-side overhead (ramp-up/drain of the launch).
+constexpr DurationUs kKernelFixedOverheadUs = 2.0;
+// No kernel completes faster than this (launch + teardown floor).
+constexpr DurationUs kMinKernelDurationUs = 3.0;
+
+// Materialises a KernelWork into a KernelDesc for `spec`. `kernel_id` must be
+// stable across iterations of the same workload (profile-table key, §5.2).
+gpusim::KernelDesc BuildKernel(const gpusim::DeviceSpec& spec, const KernelWork& work,
+                               std::uint64_t kernel_id);
+
+}  // namespace workloads
+}  // namespace orion
+
+#endif  // SRC_WORKLOADS_COST_MODEL_H_

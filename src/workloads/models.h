@@ -1,0 +1,77 @@
+// Model zoo: the five DNN workloads of the paper's evaluation (§6.1).
+//
+//   * ResNet50, ResNet101, MobileNetV2 — vision (TorchVision configs)
+//   * BERT (large for inference, base for training — Table 1) and
+//     Transformer — NLP (NVIDIA reference configs)
+//
+// Each workload expands into the kernel sequence of one inference request or
+// one training iteration, via the layer builder and the analytic cost model.
+// Kernel ids are stable across requests of the same workload, which is what
+// the profiler's lookup table keys on (§5.2).
+#ifndef SRC_WORKLOADS_MODELS_H_
+#define SRC_WORKLOADS_MODELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/kernel.h"
+#include "src/runtime/op.h"
+#include "src/workloads/layers.h"
+
+namespace orion {
+namespace workloads {
+
+enum class ModelId : std::uint8_t {
+  kResNet50,
+  kMobileNetV2,
+  kResNet101,
+  kBert,         // BERT-large for inference, BERT-base for training (Table 1)
+  kTransformer,
+  // Extension (paper §7): autoregressive LLM token generation. Each request
+  // decodes a fixed number of tokens sequentially; every step is dominated
+  // by weight and KV-cache streaming, i.e. memory-bound kernels that
+  // underutilize compute throughput — the collocation opportunity the paper
+  // describes for LLM inference. Not part of the paper's evaluated set
+  // (hence excluded from kAllModels).
+  kLlmDecode,
+};
+
+// The five models of the paper's evaluation (§6.1).
+constexpr ModelId kAllModels[] = {ModelId::kResNet50, ModelId::kMobileNetV2,
+                                  ModelId::kResNet101, ModelId::kBert, ModelId::kTransformer};
+
+const char* ModelName(ModelId model);
+bool IsVisionModel(ModelId model);
+
+struct WorkloadSpec {
+  ModelId model = ModelId::kResNet50;
+  TaskType task = TaskType::kInference;
+  int batch_size = 1;
+};
+
+// Paper defaults (Table 1): inference bs 4/4/4/2/4, training bs 32/64/32/8/8.
+WorkloadSpec MakeWorkload(ModelId model, TaskType task);
+WorkloadSpec MakeWorkload(ModelId model, TaskType task, int batch_size);
+
+std::string WorkloadName(const WorkloadSpec& spec);
+
+// Kernel sequence of one request (inference) or one iteration (training).
+std::vector<gpusim::KernelDesc> BuildKernels(const gpusim::DeviceSpec& device,
+                                             const WorkloadSpec& spec);
+
+// Full request op list: input H2D copy, kernels, output D2H copy (inference
+// only; a training iteration keeps its state on-device).
+std::vector<runtime::Op> BuildRequestOps(const gpusim::DeviceSpec& device,
+                                         const WorkloadSpec& spec);
+
+// Rough GPU-resident state: parameters (plus gradients + momentum when
+// training) and peak activations. Used for Table 1's memory-capacity column
+// and the harness's fits-in-memory admission check.
+std::size_t ApproxModelStateBytes(const WorkloadSpec& spec);
+
+}  // namespace workloads
+}  // namespace orion
+
+#endif  // SRC_WORKLOADS_MODELS_H_

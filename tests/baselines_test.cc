@@ -1,0 +1,251 @@
+// Baseline scheduler tests: pass-through (Streams/MPS), temporal sharing's
+// request serialisation and HOL blocking, REEF-N's bypass + padding rules,
+// Tick-Tock's phase barriers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/passthrough.h"
+#include "src/baselines/reef.h"
+#include "src/baselines/temporal.h"
+#include "src/baselines/ticktock.h"
+#include "src/runtime/gpu_runtime.h"
+#include "src/sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace orion {
+namespace baselines {
+namespace {
+
+using gpusim::KernelExecRecord;
+using testutil::MakeKernel;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rt_ = std::make_unique<runtime::GpuRuntime>(&sim_, spec_);
+    rt_->device().set_kernel_trace_sink(
+        [this](const KernelExecRecord& rec) { trace_.push_back(rec); });
+  }
+
+  std::vector<core::SchedClientInfo> TwoClients(bool first_hp = true) {
+    core::SchedClientInfo a;
+    a.id = 0;
+    a.high_priority = first_hp;
+    core::SchedClientInfo b;
+    b.id = 1;
+    b.high_priority = false;
+    return {a, b};
+  }
+
+  core::SchedOp KernelOp(const gpusim::KernelDesc& kernel, bool end_of_request = false,
+                         std::function<void()> on_complete = nullptr) {
+    core::SchedOp op;
+    op.op.type = runtime::OpType::kKernelLaunch;
+    op.op.kernel = kernel;
+    op.op.end_of_request = end_of_request;
+    op.on_complete = std::move(on_complete);
+    return op;
+  }
+
+  TimeUs StartOf(const std::string& name) const {
+    for (const auto& rec : trace_) {
+      if (rec.name == name) {
+        return rec.start;
+      }
+    }
+    return -1.0;
+  }
+
+  Simulator sim_;
+  gpusim::DeviceSpec spec_ = gpusim::DeviceSpec::V100_16GB();
+  std::unique_ptr<runtime::GpuRuntime> rt_;
+  std::vector<KernelExecRecord> trace_;
+};
+
+// --- Pass-through (Streams / MPS). -----------------------------------------
+
+TEST_F(BaselineTest, PassthroughSubmitsImmediately) {
+  auto sched = MakeStreamsBaseline();
+  sched->Attach(&sim_, rt_.get(), TwoClients());
+  sched->Enqueue(0, KernelOp(MakeKernel("a", 100.0, 0.9, 0.1, 80)));
+  sched->Enqueue(1, KernelOp(MakeKernel("b", 100.0, 0.9, 0.1, 80)));
+  sim_.RunUntilIdle();
+  // Both streams submitted; hardware resolves contention (b waits on SMs).
+  EXPECT_DOUBLE_EQ(StartOf("a"), 0.0);
+  EXPECT_EQ(rt_->device().kernels_completed(), 2u);
+}
+
+TEST_F(BaselineTest, StreamsHasGilPenaltyMpsDoesNot) {
+  auto streams = MakeStreamsBaseline();
+  auto mps = MakeMpsBaseline();
+  EXPECT_GT(streams->HostOverheadMultiplier(4), 1.5);
+  EXPECT_DOUBLE_EQ(mps->HostOverheadMultiplier(4), 1.0);
+  EXPECT_DOUBLE_EQ(streams->HostOverheadMultiplier(1), 1.0);
+}
+
+TEST_F(BaselineTest, StreamsPrioritisesHpKernels) {
+  auto sched = MakeStreamsBaseline();
+  sched->Attach(&sim_, rt_.get(), TwoClients());
+  // Fill the device with a be kernel, then queue one be and one hp kernel.
+  sched->Enqueue(1, KernelOp(MakeKernel("be_big", 500.0, 0.9, 0.1, 80)));
+  sched->Enqueue(1, KernelOp(MakeKernel("be_next", 100.0, 0.9, 0.1, 80)));
+  sched->Enqueue(0, KernelOp(MakeKernel("hp", 100.0, 0.9, 0.1, 80)));
+  sim_.RunUntilIdle();
+  EXPECT_LT(StartOf("hp"), StartOf("be_next"));
+}
+
+// --- Temporal sharing. ------------------------------------------------------
+
+TEST_F(BaselineTest, TemporalSerialisesRequests) {
+  TemporalScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  // Client 1's request: two kernels. Client 0 (hp) arrives mid-request.
+  sched.Enqueue(1, KernelOp(MakeKernel("be_k1", 200.0, 0.3, 0.1, 10)));
+  sched.Enqueue(1, KernelOp(MakeKernel("be_k2", 200.0, 0.3, 0.1, 10), /*end=*/true));
+  sim_.RunUntil(100.0);
+  sched.Enqueue(0, KernelOp(MakeKernel("hp_k", 50.0, 0.3, 0.1, 10), /*end=*/true));
+  sim_.RunUntilIdle();
+  // Head-of-line blocking: hp waits for the whole be request (400us).
+  EXPECT_GE(StartOf("hp_k"), 400.0);
+}
+
+TEST_F(BaselineTest, TemporalPrefersHpBetweenRequests) {
+  TemporalScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  // Queue a be request and an hp request while another be request runs.
+  sched.Enqueue(1, KernelOp(MakeKernel("be_r1", 100.0, 0.3, 0.1, 10), true));
+  sched.Enqueue(1, KernelOp(MakeKernel("be_r2", 100.0, 0.3, 0.1, 10), true));
+  sched.Enqueue(0, KernelOp(MakeKernel("hp_r", 100.0, 0.3, 0.1, 10), true));
+  sim_.RunUntilIdle();
+  // hp runs right after the in-flight be request, before the queued be one.
+  EXPECT_LT(StartOf("hp_r"), StartOf("be_r2"));
+}
+
+TEST_F(BaselineTest, TemporalRoundRobinsBestEffort) {
+  TemporalScheduler sched;
+  core::SchedClientInfo a;
+  a.id = 0;
+  core::SchedClientInfo b;
+  b.id = 1;
+  core::SchedClientInfo c;
+  c.id = 2;
+  sched.Attach(&sim_, rt_.get(), {a, b, c});
+  sched.Enqueue(1, KernelOp(MakeKernel("b_r1", 100.0, 0.3, 0.1, 10), true));
+  sched.Enqueue(1, KernelOp(MakeKernel("b_r2", 100.0, 0.3, 0.1, 10), true));
+  sched.Enqueue(2, KernelOp(MakeKernel("c_r1", 100.0, 0.3, 0.1, 10), true));
+  sim_.RunUntilIdle();
+  // Fairness: c_r1 runs before b's second request.
+  EXPECT_LT(StartOf("c_r1"), StartOf("b_r2"));
+}
+
+// --- REEF-N. -----------------------------------------------------------------
+
+TEST_F(BaselineTest, ReefBeRunsWhenHpIdle) {
+  ReefScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  sched.Enqueue(1, KernelOp(MakeKernel("be", 100.0, 0.9, 0.1, 80)));
+  sim_.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(StartOf("be"), 0.0);
+}
+
+TEST_F(BaselineTest, ReefPadsSmallKernelsIntoFreeSms) {
+  ReefScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  sched.Enqueue(0, KernelOp(MakeKernel("hp", 500.0, 0.9, 0.1, 40)));
+  // Fits in the remaining 40 SMs -> padded in, even though it is
+  // compute-bound like hp (REEF ignores profiles).
+  sched.Enqueue(1, KernelOp(MakeKernel("be_small", 100.0, 0.9, 0.1, 20)));
+  // Does not fit -> deferred.
+  sched.Enqueue(1, KernelOp(MakeKernel("be_big", 100.0, 0.9, 0.1, 60)));
+  sim_.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(StartOf("be_small"), 0.0);
+  EXPECT_GE(StartOf("be_big"), 100.0);
+}
+
+TEST_F(BaselineTest, ReefEnforcesQueueDepth) {
+  ReefScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  for (int i = 0; i < ReefScheduler::kQueueDepth + 5; ++i) {
+    sched.Enqueue(1, KernelOp(MakeKernel("be" + std::to_string(i), 100.0, 0.05, 0.05, 1)));
+  }
+  sim_.RunUntil(1.0);
+  // Only kQueueDepth kernels outstanding on the device at once (they still
+  // execute one at a time: a single client's kernels share one stream).
+  EXPECT_EQ(sched.be_outstanding(), ReefScheduler::kQueueDepth);
+  EXPECT_EQ(rt_->device().RunningKernelCount(), 1);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(rt_->device().kernels_completed(),
+            static_cast<std::size_t>(ReefScheduler::kQueueDepth + 5));
+}
+
+TEST_F(BaselineTest, ReefIgnoresDurationUnlikeOrion) {
+  // REEF keeps padding best-effort kernels while they fit, regardless of
+  // their duration — the behaviour Orion's DUR_THRESHOLD prevents.
+  ReefScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  sched.Enqueue(0, KernelOp(MakeKernel("hp", 100.0, 0.9, 0.1, 40)));
+  // Very long be kernel that fits: REEF launches it immediately.
+  sched.Enqueue(1, KernelOp(MakeKernel("be_long", 5000.0, 0.9, 0.1, 30)));
+  sim_.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(StartOf("be_long"), 0.0);
+}
+
+// --- Tick-Tock. ---------------------------------------------------------------
+
+gpusim::KernelDesc PhaseKernel(const std::string& name, gpusim::KernelPhase phase,
+                               DurationUs duration) {
+  auto kernel = MakeKernel(name, duration, 0.5, 0.3, 20);
+  kernel.phase = phase;
+  return kernel;
+}
+
+TEST_F(BaselineTest, TickTockOffsetsPhases) {
+  TickTockScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  // Client 0 iteration: fwd + bwd. Client 1 iteration: fwd + bwd.
+  sched.Enqueue(0, KernelOp(PhaseKernel("a_fwd", gpusim::KernelPhase::kForward, 100.0)));
+  sched.Enqueue(0, KernelOp(PhaseKernel("a_bwd", gpusim::KernelPhase::kBackward, 100.0)));
+  sched.Enqueue(1, KernelOp(PhaseKernel("b_fwd", gpusim::KernelPhase::kForward, 100.0)));
+  sched.Enqueue(1, KernelOp(PhaseKernel("b_bwd", gpusim::KernelPhase::kBackward, 100.0)));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(rt_->device().kernels_completed(), 4u);
+  // Round 0: only a_fwd (b is offset). Round 1: a_bwd || b_fwd. Round 2: b_bwd.
+  EXPECT_DOUBLE_EQ(StartOf("a_fwd"), 0.0);
+  EXPECT_GE(StartOf("b_fwd"), 100.0);
+  EXPECT_GE(StartOf("b_bwd"), StartOf("b_fwd") + 100.0);
+}
+
+TEST_F(BaselineTest, TickTockBarrierMakesFastJobWait) {
+  TickTockScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  // Client 0 is fast (50us halves), client 1 slow (400us halves).
+  sched.Enqueue(0, KernelOp(PhaseKernel("a_fwd", gpusim::KernelPhase::kForward, 50.0)));
+  sched.Enqueue(0, KernelOp(PhaseKernel("a_bwd", gpusim::KernelPhase::kBackward, 50.0)));
+  sched.Enqueue(1, KernelOp(PhaseKernel("b_fwd", gpusim::KernelPhase::kForward, 400.0)));
+  sched.Enqueue(0, KernelOp(PhaseKernel("a2_fwd", gpusim::KernelPhase::kForward, 50.0)));
+  sim_.RunUntilIdle();
+  // a's second forward cannot start until b's forward (which runs in the
+  // same round as a_bwd) completes: the barrier stalls the fast job.
+  EXPECT_GE(StartOf("a2_fwd"), StartOf("b_fwd") + 400.0);
+}
+
+TEST_F(BaselineTest, TickTockMemcpyRidesForwardHalf) {
+  TickTockScheduler sched;
+  sched.Attach(&sim_, rt_.get(), TwoClients());
+  core::SchedOp copy;
+  copy.op.type = runtime::OpType::kMemcpyH2D;
+  copy.op.bytes = 1000;
+  bool copy_done = false;
+  copy.on_complete = [&]() { copy_done = true; };
+  sched.Enqueue(0, std::move(copy));
+  sched.Enqueue(0, KernelOp(PhaseKernel("a_fwd", gpusim::KernelPhase::kForward, 50.0)));
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(copy_done);
+  EXPECT_DOUBLE_EQ(rt_->device().kernels_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace orion

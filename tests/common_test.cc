@@ -1,0 +1,193 @@
+// Unit tests for src/common: RNG determinism and distributions, statistics,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(10);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.UniformInt(0, 4)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 50.0, 1.0);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(12);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng root(42);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+  // Forking is deterministic.
+  Rng root2(42);
+  Rng a2 = root2.Fork(1);
+  a = Rng(42).Fork(1);
+  EXPECT_EQ(a.NextU64(), a2.NextU64());
+}
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) {
+    rec.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 100.0);
+  EXPECT_NEAR(rec.Percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(rec.Percentile(100.0), 100.0, 1e-12);
+  EXPECT_NEAR(rec.p50(), 50.5, 1e-12);
+  EXPECT_NEAR(rec.Percentile(99.0), 99.01, 1e-9);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder rec;
+  rec.Add(42.0);
+  EXPECT_DOUBLE_EQ(rec.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(rec.p99(), 42.0);
+}
+
+TEST(LatencyRecorderTest, EmptyReturnsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(50.0), 0.0);
+  EXPECT_EQ(rec.mean(), 0.0);
+}
+
+TEST(LatencyRecorderTest, InterleavedAddAndQuery) {
+  LatencyRecorder rec;
+  rec.Add(10.0);
+  EXPECT_DOUBLE_EQ(rec.p50(), 10.0);
+  rec.Add(20.0);  // re-sorting must happen after the new sample
+  EXPECT_DOUBLE_EQ(rec.p50(), 15.0);
+}
+
+TEST(TimeWeightedStatsTest, WeightsByDuration) {
+  TimeWeightedStats stats;
+  stats.AddInterval(0.0, 10.0, 1.0);
+  stats.AddInterval(10.0, 40.0, 0.0);
+  EXPECT_DOUBLE_EQ(stats.average(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.total_time(), 40.0);
+  EXPECT_DOUBLE_EQ(stats.FractionAbove(0.5), 0.25);
+}
+
+TEST(TimeWeightedStatsTest, ZeroWidthIntervalIgnored) {
+  TimeWeightedStats stats;
+  stats.AddInterval(5.0, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(stats.average(), 0.0);
+}
+
+TEST(TableTest, RendersAlignedTable) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", Cell(1.5)});
+  table.AddRow({"b", Cell(22)});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TimeTypesTest, Conversions) {
+  EXPECT_DOUBLE_EQ(MsToUs(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(SecToUs(2.0), 2e6);
+  EXPECT_DOUBLE_EQ(UsToMs(2500.0), 2.5);
+  EXPECT_DOUBLE_EQ(UsToSec(5e5), 0.5);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,150 @@
+// Occupancy math (§5.2) and kernel classification rules.
+#include <gtest/gtest.h>
+
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/kernel.h"
+
+namespace orion {
+namespace gpusim {
+namespace {
+
+TEST(DeviceSpecTest, PresetsMatchHardware) {
+  const DeviceSpec v100 = DeviceSpec::V100_16GB();
+  EXPECT_EQ(v100.num_sms, 80);
+  EXPECT_EQ(v100.max_threads_per_sm, 2048);
+  EXPECT_EQ(v100.memory_bytes, std::size_t{16} * 1024 * 1024 * 1024);
+
+  const DeviceSpec a100 = DeviceSpec::A100_40GB();
+  EXPECT_EQ(a100.num_sms, 108);
+  EXPECT_GT(a100.peak_membw_gbps, v100.peak_membw_gbps);
+  EXPECT_GT(a100.memory_bytes, v100.memory_bytes);
+}
+
+TEST(OccupancyTest, LimitedByThreads) {
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 100;
+  geom.threads_per_block = 1024;
+  geom.registers_per_thread = 16;  // 16K regs/block: not the limiter
+  geom.shared_mem_per_block = 0;
+  EXPECT_EQ(BlocksPerSm(spec, geom), 2);  // 2048 / 1024
+  EXPECT_EQ(SmsNeeded(spec, geom), 50);
+}
+
+TEST(OccupancyTest, LimitedByRegisters) {
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 10;
+  geom.threads_per_block = 256;
+  geom.registers_per_thread = 128;  // 32768 regs/block -> 2 blocks/SM
+  geom.shared_mem_per_block = 0;
+  EXPECT_EQ(BlocksPerSm(spec, geom), 2);
+  EXPECT_EQ(SmsNeeded(spec, geom), 5);
+}
+
+TEST(OccupancyTest, LimitedBySharedMemory) {
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 12;
+  geom.threads_per_block = 128;
+  geom.registers_per_thread = 16;
+  geom.shared_mem_per_block = 48 * 1024;  // 96KB/SM -> 2 blocks/SM
+  EXPECT_EQ(BlocksPerSm(spec, geom), 2);
+  EXPECT_EQ(SmsNeeded(spec, geom), 6);
+}
+
+TEST(OccupancyTest, LimitedByBlockCap) {
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 320;
+  geom.threads_per_block = 32;  // tiny blocks: 64 by threads
+  geom.registers_per_thread = 16;
+  geom.shared_mem_per_block = 0;
+  EXPECT_EQ(BlocksPerSm(spec, geom), spec.max_blocks_per_sm);
+  EXPECT_EQ(SmsNeeded(spec, geom), 10);
+}
+
+TEST(OccupancyTest, SmsNeededRoundsUpAndIsAtLeastOne) {
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 3;
+  geom.threads_per_block = 1024;  // 2 blocks/SM
+  geom.registers_per_thread = 16;
+  EXPECT_EQ(SmsNeeded(spec, geom), 2);  // ceil(3/2)
+  geom.num_blocks = 1;
+  EXPECT_EQ(SmsNeeded(spec, geom), 1);
+}
+
+TEST(OccupancyTest, GridCanExceedDevice) {
+  // Grids larger than the device are legal (wave execution); sm_needed is
+  // the paper's formula and may exceed num_sms (relevant to SM_THRESHOLD).
+  const DeviceSpec spec = DeviceSpec::V100_16GB();
+  LaunchGeometry geom;
+  geom.num_blocks = 25000;
+  geom.threads_per_block = 256;
+  geom.registers_per_thread = 20;
+  EXPECT_GT(SmsNeeded(spec, geom), spec.num_sms);
+}
+
+TEST(ClassifyTest, RooflineTakesPrecedence) {
+  KernelDesc kernel;
+  kernel.has_roofline = true;
+  kernel.roofline_class = ResourceProfile::kMemoryBound;
+  kernel.compute_util = 0.9;  // would be compute-bound by the 60% rule
+  kernel.membw_util = 0.1;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kMemoryBound);
+}
+
+TEST(ClassifyTest, SixtyPercentRule) {
+  KernelDesc kernel;
+  kernel.has_roofline = false;
+  kernel.compute_util = 0.7;
+  kernel.membw_util = 0.2;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kComputeBound);
+
+  kernel.compute_util = 0.3;
+  kernel.membw_util = 0.65;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kMemoryBound);
+
+  kernel.compute_util = 0.5;
+  kernel.membw_util = 0.5;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kUnknown);
+}
+
+TEST(ClassifyTest, BothHotPicksLarger) {
+  KernelDesc kernel;
+  kernel.has_roofline = false;
+  kernel.compute_util = 0.7;
+  kernel.membw_util = 0.9;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kMemoryBound);
+}
+
+TEST(ClassifyTest, ExactlyAtThresholdIsNotHot) {
+  KernelDesc kernel;
+  kernel.has_roofline = false;
+  kernel.compute_util = 0.6;
+  kernel.membw_util = 0.6;
+  EXPECT_EQ(ClassifyKernel(kernel), ResourceProfile::kUnknown);
+}
+
+TEST(ProfilesTest, DifferentProfilesRule) {
+  using RP = ResourceProfile;
+  EXPECT_TRUE(HaveDifferentProfiles(RP::kComputeBound, RP::kMemoryBound));
+  EXPECT_TRUE(HaveDifferentProfiles(RP::kMemoryBound, RP::kComputeBound));
+  EXPECT_FALSE(HaveDifferentProfiles(RP::kComputeBound, RP::kComputeBound));
+  EXPECT_FALSE(HaveDifferentProfiles(RP::kMemoryBound, RP::kMemoryBound));
+  // Unknown collocates with anything (§5.2).
+  EXPECT_TRUE(HaveDifferentProfiles(RP::kUnknown, RP::kComputeBound));
+  EXPECT_TRUE(HaveDifferentProfiles(RP::kMemoryBound, RP::kUnknown));
+  EXPECT_TRUE(HaveDifferentProfiles(RP::kUnknown, RP::kUnknown));
+}
+
+TEST(ProfilesTest, Names) {
+  EXPECT_STREQ(ResourceProfileName(ResourceProfile::kComputeBound), "compute");
+  EXPECT_STREQ(ResourceProfileName(ResourceProfile::kMemoryBound), "memory");
+  EXPECT_STREQ(ResourceProfileName(ResourceProfile::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace orion

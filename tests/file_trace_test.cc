@@ -1,0 +1,76 @@
+// Arrival-trace file I/O and replay tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/file_trace.h"
+
+namespace orion {
+namespace trace {
+namespace {
+
+TEST(FileTraceTest, SaveLoadRoundTrip) {
+  const std::vector<TimeUs> timestamps = {0.0, 125.5, 1000.0, 1000.0, 2500.75};
+  std::stringstream file;
+  SaveArrivalTimestamps(timestamps, file);
+  const auto loaded = LoadArrivalTimestamps(file);
+  ASSERT_EQ(loaded.size(), timestamps.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], timestamps[i]);
+  }
+}
+
+TEST(FileTraceTest, IgnoresCommentsAndBlankLines) {
+  std::stringstream file("# header\n\n10.0\n  \n20.0 # inline comment\n30.0\n");
+  const auto loaded = LoadArrivalTimestamps(file);
+  EXPECT_EQ(loaded, (std::vector<TimeUs>{10.0, 20.0, 30.0}));
+}
+
+TEST(FileTraceDeathTest, RejectsMalformedLine) {
+  std::stringstream file("10.0\nnot-a-number\n");
+  EXPECT_DEATH((void)LoadArrivalTimestamps(file), "malformed trace line 2");
+}
+
+TEST(FileTraceDeathTest, RejectsNonMonotoneTimestamps) {
+  std::stringstream file("10.0\n5.0\n");
+  EXPECT_DEATH((void)LoadArrivalTimestamps(file), "non-monotone");
+}
+
+TEST(ReplayArrivalsTest, ReplaysGapsInOrderAndLoops) {
+  ReplayArrivals replay({0.0, 100.0, 250.0, 300.0});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 100.0);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 150.0);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 50.0);
+  // Loops back to the first gap.
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 100.0);
+  EXPECT_EQ(replay.trace_length(), 3u);
+}
+
+TEST(ReplayArrivalsTest, MeanRpsMatchesTrace) {
+  // 3 gaps spanning 300 us -> 10000 arrivals/sec.
+  ReplayArrivals replay({0.0, 100.0, 200.0, 300.0});
+  EXPECT_NEAR(replay.mean_rps(), 10000.0, 1e-9);
+}
+
+TEST(ReplayArrivalsTest, RecordedApolloTraceReplaysAtSameRate) {
+  // Snapshot the synthetic Apollo generator, then replay it: the replayed
+  // mean rate matches the recording (the §6.1 record-once-replay-everywhere
+  // workflow).
+  ApolloArrivals apollo(40.0);
+  Rng rng(7);
+  const auto timestamps = RecordArrivals(apollo, rng, 2000);
+  std::stringstream file;
+  SaveArrivalTimestamps(timestamps, file);
+  ReplayArrivals replay(LoadArrivalTimestamps(file));
+  const double recorded_rps = 2000.0 / UsToSec(timestamps.back() - timestamps.front());
+  EXPECT_NEAR(replay.mean_rps(), recorded_rps, 0.05 * recorded_rps);
+}
+
+TEST(ReplayArrivalsDeathTest, NeedsTwoTimestamps) {
+  EXPECT_DEATH(ReplayArrivals({42.0}), ">= 2 timestamps");
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace orion

@@ -1,0 +1,92 @@
+// LLM token-generation extension workload tests (§7).
+#include <gtest/gtest.h>
+
+#include "src/gpusim/kernel.h"
+#include "src/workloads/models.h"
+
+namespace orion {
+namespace workloads {
+namespace {
+
+const gpusim::DeviceSpec kV100 = gpusim::DeviceSpec::V100_16GB();
+
+TEST(LlmWorkloadTest, DecodeIsPredominantlyMemoryBound) {
+  // §7: the token-generation phase is memory-bound and underutilizes
+  // compute throughput — the property Orion's policy exploits.
+  const auto kernels =
+      BuildKernels(kV100, MakeWorkload(ModelId::kLlmDecode, TaskType::kInference));
+  double memory_time = 0.0;
+  double compute_time = 0.0;
+  double total_time = 0.0;
+  for (const auto& kernel : kernels) {
+    total_time += kernel.duration_us;
+    switch (gpusim::ClassifyKernel(kernel)) {
+      case gpusim::ResourceProfile::kMemoryBound:
+        memory_time += kernel.duration_us;
+        break;
+      case gpusim::ResourceProfile::kComputeBound:
+        compute_time += kernel.duration_us;
+        break;
+      case gpusim::ResourceProfile::kUnknown:
+        break;
+    }
+  }
+  EXPECT_GT(memory_time / total_time, 0.6);
+  EXPECT_LT(compute_time / total_time, 0.2);
+}
+
+TEST(LlmWorkloadTest, ComputeUtilizationStaysLow) {
+  const auto kernels =
+      BuildKernels(kV100, MakeWorkload(ModelId::kLlmDecode, TaskType::kInference));
+  double weighted_compute = 0.0;
+  double total = 0.0;
+  for (const auto& kernel : kernels) {
+    weighted_compute += kernel.duration_us * kernel.compute_util;
+    total += kernel.duration_us;
+  }
+  EXPECT_LT(weighted_compute / total, 0.25);
+}
+
+TEST(LlmWorkloadTest, SequentialDecodeStructure) {
+  // One request = decode_steps sequential token steps; the kernel count must
+  // be a multiple of the per-step kernel count plus nothing else.
+  const auto kernels =
+      BuildKernels(kV100, MakeWorkload(ModelId::kLlmDecode, TaskType::kInference));
+  int tok0 = 0;
+  int tok_last = 0;
+  for (const auto& kernel : kernels) {
+    if (kernel.name.rfind("tok0.", 0) == 0) {
+      ++tok0;
+    }
+    if (kernel.name.rfind("tok7.", 0) == 0) {
+      ++tok_last;
+    }
+  }
+  EXPECT_GT(tok0, 50);
+  EXPECT_EQ(tok0, tok_last);  // every decode step runs the same kernels
+}
+
+TEST(LlmWorkloadTest, ExcludedFromPaperModelSet) {
+  for (ModelId model : kAllModels) {
+    EXPECT_NE(model, ModelId::kLlmDecode);
+  }
+  EXPECT_STREQ(ModelName(ModelId::kLlmDecode), "llm-decode");
+  EXPECT_FALSE(IsVisionModel(ModelId::kLlmDecode));
+}
+
+TEST(LlmWorkloadTest, LargeMemoryFootprint) {
+  // LLM state (weights + KV cache) dominates: several GB even at batch 4.
+  const std::size_t bytes =
+      ApproxModelStateBytes(MakeWorkload(ModelId::kLlmDecode, TaskType::kInference));
+  EXPECT_GT(bytes, std::size_t{1} << 30);
+}
+
+TEST(LlmWorkloadDeathTest, TrainingVariantRejected) {
+  EXPECT_DEATH(
+      (void)BuildKernels(kV100, MakeWorkload(ModelId::kLlmDecode, TaskType::kTraining)),
+      "inference-only");
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace orion

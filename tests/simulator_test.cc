@@ -1,0 +1,146 @@
+// Unit tests for the discrete-event engine: ordering, cancellation, clock
+// semantics, reentrancy from callbacks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30.0, [&]() { order.push_back(3); });
+  sim.ScheduleAt(10.0, [&]() { order.push_back(1); });
+  sim.ScheduleAt(20.0, [&]() { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(SimulatorTest, FifoAmongSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimeUs observed = -1.0;
+  sim.ScheduleAfter(42.5, [&]() { observed = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(observed, 42.5);
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) {
+      sim.ScheduleAfter(1.0, chain);
+    }
+  };
+  sim.ScheduleAfter(1.0, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtSameTimestamp) {
+  Simulator sim;
+  TimeUs inner_time = -1.0;
+  sim.ScheduleAt(10.0, [&]() { sim.ScheduleAfter(0.0, [&]() { inner_time = sim.now(); }); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(inner_time, 10.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10.0, [&]() { ++fired; });
+  sim.ScheduleAt(20.0, [&]() { ++fired; });
+  sim.ScheduleAt(30.0, [&]() { ++fired; });
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the horizon still run
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+  sim.RunUntil(100.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 500.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle = sim.ScheduleAt(10.0, [&]() { ++fired; });
+  sim.ScheduleAt(5.0, [&]() { sim.Cancel(handle); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelAfterRunIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle = sim.ScheduleAt(1.0, [&]() { ++fired; });
+  sim.RunUntilIdle();
+  sim.Cancel(handle);  // must not corrupt live-event accounting
+  sim.ScheduleAt(2.0, [&]() { ++fired; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, DoubleCancelIsNoOp) {
+  Simulator sim;
+  EventHandle handle = sim.ScheduleAt(1.0, []() {});
+  sim.Cancel(handle);
+  sim.Cancel(handle);
+  EXPECT_TRUE(sim.Idle());
+  sim.RunUntilIdle();
+}
+
+TEST(SimulatorTest, IdleReflectsLiveEvents) {
+  Simulator sim;
+  EXPECT_TRUE(sim.Idle());
+  EventHandle handle = sim.ScheduleAt(1.0, []() {});
+  EXPECT_FALSE(sim.Idle());
+  sim.Cancel(handle);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, InvalidHandleCancelIsSafe) {
+  Simulator sim;
+  sim.Cancel(EventHandle());
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAfter(i, []() {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(10.0, []() {});
+  sim.RunUntilIdle();
+  EXPECT_DEATH(sim.ScheduleAt(5.0, []() {}), "scheduled in the past");
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,113 @@
+// Memory-admission and layer-by-layer swapping tests (§5.1.3 extension).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace orion {
+namespace harness {
+namespace {
+
+using workloads::MakeWorkload;
+using workloads::ModelId;
+using workloads::TaskType;
+
+// Two big-batch training jobs that together exceed 16 GB.
+ExperimentConfig OversizedConfig(bool allow_swapping) {
+  ExperimentConfig config;
+  // MPS keeps both jobs running freely; these tests target the swapping
+  // mechanics, not a particular scheduling policy.
+  config.scheduler = SchedulerKind::kMps;
+  config.warmup_us = SecToUs(0.3);
+  config.duration_us = SecToUs(6.0);
+  ClientConfig hp;
+  hp.workload = MakeWorkload(ModelId::kResNet50, TaskType::kTraining, 48);
+  hp.high_priority = true;
+  ClientConfig be;
+  be.workload = MakeWorkload(ModelId::kResNet101, TaskType::kTraining, 48);
+  be.allow_swapping = allow_swapping;
+  config.clients = {hp, be};
+  return config;
+}
+
+TEST(SwappingTest, OversizedPairsAreDetected) {
+  const std::size_t hp_state =
+      workloads::ApproxModelStateBytes(MakeWorkload(ModelId::kResNet50, TaskType::kTraining, 48));
+  const std::size_t be_state = workloads::ApproxModelStateBytes(
+      MakeWorkload(ModelId::kResNet101, TaskType::kTraining, 48));
+  ASSERT_GT(hp_state + be_state, gpusim::DeviceSpec::V100_16GB().memory_bytes)
+      << "test premise: the pair must exceed 16 GB";
+}
+
+TEST(SwappingDeathTest, RejectedWithoutASwapper) {
+  EXPECT_DEATH((void)RunExperiment(OversizedConfig(false)), "exceeds GPU memory");
+}
+
+TEST(SwappingTest, SwappingAbsorbsTheOverflow) {
+  const ExperimentResult result = RunExperiment(OversizedConfig(true));
+  EXPECT_TRUE(result.swapping_active);
+  EXPECT_GT(result.memory_deficit_bytes, std::size_t{0});
+  // Both jobs still make progress.
+  for (const auto& client : result.clients) {
+    EXPECT_GT(client.completed, 0u) << client.name;
+  }
+}
+
+TEST(SwappingTest, SwappingCostsBestEffortThroughput) {
+  // The swapped job pays PCIe time each iteration; compare against the same
+  // pair at a batch size that fits (no swapping).
+  ExperimentConfig fits;
+  fits.scheduler = SchedulerKind::kMps;
+  fits.warmup_us = SecToUs(0.3);
+  fits.duration_us = SecToUs(6.0);
+  ClientConfig hp;
+  hp.workload = MakeWorkload(ModelId::kResNet50, TaskType::kTraining);
+  hp.high_priority = true;
+  ClientConfig be;
+  be.workload = MakeWorkload(ModelId::kResNet101, TaskType::kTraining);
+  be.allow_swapping = true;
+  fits.clients = {hp, be};
+  const ExperimentResult small = RunExperiment(fits);
+  EXPECT_FALSE(small.swapping_active);
+
+  const ExperimentResult swapped = RunExperiment(OversizedConfig(true));
+  // Per-iteration time of the swapped run must include real extra PCIe work:
+  // sanity-check it completed fewer big-batch iterations than the small-batch
+  // run completed small ones (they are not directly comparable in work, so
+  // just require both positive and the swap run slower in iterations/s).
+  double small_be = 0.0;
+  double swapped_be = 0.0;
+  for (const auto& client : small.clients) {
+    if (!client.high_priority) {
+      small_be = client.throughput_rps;
+    }
+  }
+  for (const auto& client : swapped.clients) {
+    if (!client.high_priority) {
+      swapped_be = client.throughput_rps;
+    }
+  }
+  EXPECT_GT(small_be, swapped_be);
+}
+
+TEST(SwappingTest, FittingPairsNeverSwap) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kOrion;
+  config.warmup_us = SecToUs(0.3);
+  config.duration_us = SecToUs(2.0);
+  ClientConfig hp;
+  hp.workload = MakeWorkload(ModelId::kResNet50, TaskType::kInference);
+  hp.high_priority = true;
+  hp.arrivals = ClientConfig::Arrivals::kPoisson;
+  hp.rps = 15.0;
+  ClientConfig be;
+  be.workload = MakeWorkload(ModelId::kMobileNetV2, TaskType::kTraining);
+  be.allow_swapping = true;  // enabled but unnecessary
+  config.clients = {hp, be};
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_FALSE(result.swapping_active);
+  EXPECT_EQ(result.memory_deficit_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace orion

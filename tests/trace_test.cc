@@ -1,0 +1,120 @@
+// Arrival process tests: rates, determinism, distribution shapes, Table 3.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/trace/arrivals.h"
+#include "src/trace/request_rates.h"
+
+namespace orion {
+namespace trace {
+namespace {
+
+TEST(ArrivalsTest, UniformIsExactlyPeriodic) {
+  UniformArrivals arrivals(100.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals.NextInterarrival(rng), 10000.0);  // 1/100s in µs
+  }
+  EXPECT_FALSE(arrivals.closed_loop());
+}
+
+TEST(ArrivalsTest, PoissonMeanMatchesRate) {
+  PoissonArrivals arrivals(50.0);
+  Rng rng(2);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(arrivals.NextInterarrival(rng));
+  }
+  EXPECT_NEAR(stats.mean(), 20000.0, 300.0);
+  // Exponential: stddev ~= mean.
+  EXPECT_NEAR(stats.stddev(), 20000.0, 600.0);
+}
+
+TEST(ArrivalsTest, PoissonDeterministicAcrossSeeds) {
+  PoissonArrivals arrivals(50.0);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals.NextInterarrival(a), arrivals.NextInterarrival(b));
+  }
+}
+
+TEST(ArrivalsTest, ApolloMeanRateNearTarget) {
+  ApolloArrivals arrivals(40.0);
+  Rng rng(3);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    total += arrivals.NextInterarrival(rng);
+  }
+  const double achieved_rps = kN / (total / 1e6);
+  // Bursts add requests on top of the base rate.
+  EXPECT_GT(achieved_rps, 40.0);
+  EXPECT_LT(achieved_rps, 60.0);
+}
+
+TEST(ArrivalsTest, ApolloHasBursts) {
+  ApolloArrivals arrivals(40.0);
+  Rng rng(4);
+  const double period = 1e6 / 40.0;
+  int burst_gaps = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (arrivals.NextInterarrival(rng) < 0.1 * period) {
+      ++burst_gaps;
+    }
+  }
+  EXPECT_GT(burst_gaps, 100);  // bursts exist
+  EXPECT_LT(burst_gaps, 5000);  // but are not the common case
+}
+
+TEST(ArrivalsTest, ApolloInterarrivalsPositive) {
+  ApolloArrivals arrivals(40.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(arrivals.NextInterarrival(rng), 0.0);
+  }
+}
+
+TEST(ArrivalsTest, ClosedLoopFlag) {
+  ClosedLoopArrivals arrivals;
+  Rng rng(6);
+  EXPECT_TRUE(arrivals.closed_loop());
+  EXPECT_DOUBLE_EQ(arrivals.NextInterarrival(rng), 0.0);
+}
+
+TEST(ArrivalsTest, Factories) {
+  EXPECT_NE(MakeUniform(10.0), nullptr);
+  EXPECT_NE(MakePoisson(10.0), nullptr);
+  EXPECT_NE(MakeApollo(10.0), nullptr);
+  EXPECT_NE(MakeClosedLoop(), nullptr);
+}
+
+TEST(RequestRatesTest, Table3Values) {
+  using workloads::ModelId;
+  // Spot-check the published Table 3 numbers.
+  EXPECT_DOUBLE_EQ(RequestsPerSecond(ModelId::kResNet50, CollocationCase::kInfInfUniform), 80.0);
+  EXPECT_DOUBLE_EQ(RequestsPerSecond(ModelId::kMobileNetV2, CollocationCase::kInfInfUniform),
+                   100.0);
+  EXPECT_DOUBLE_EQ(RequestsPerSecond(ModelId::kBert, CollocationCase::kInfInfPoisson), 5.0);
+  EXPECT_DOUBLE_EQ(RequestsPerSecond(ModelId::kResNet101, CollocationCase::kInfTrainPoisson),
+                   9.0);
+  EXPECT_DOUBLE_EQ(RequestsPerSecond(ModelId::kTransformer, CollocationCase::kInfTrainPoisson),
+                   8.0);
+}
+
+TEST(RequestRatesTest, InfTrainRatesAreLowest) {
+  // Table 3: inf-train rates are below inf-inf rates for every model (the
+  // training job consumes most of the GPU).
+  using workloads::ModelId;
+  for (ModelId model : workloads::kAllModels) {
+    EXPECT_LE(RequestsPerSecond(model, CollocationCase::kInfTrainPoisson),
+              RequestsPerSecond(model, CollocationCase::kInfInfPoisson));
+    EXPECT_LE(RequestsPerSecond(model, CollocationCase::kInfInfPoisson),
+              RequestsPerSecond(model, CollocationCase::kInfInfUniform));
+  }
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace orion
