@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster_placement.dir/ext_cluster_placement.cc.o"
+  "CMakeFiles/ext_cluster_placement.dir/ext_cluster_placement.cc.o.d"
+  "ext_cluster_placement"
+  "ext_cluster_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

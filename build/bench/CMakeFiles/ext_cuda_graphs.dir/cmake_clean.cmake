@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cuda_graphs.dir/ext_cuda_graphs.cc.o"
+  "CMakeFiles/ext_cuda_graphs.dir/ext_cuda_graphs.cc.o.d"
+  "ext_cuda_graphs"
+  "ext_cuda_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cuda_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_llm_collocation.dir/ext_llm_collocation.cc.o"
+  "CMakeFiles/ext_llm_collocation.dir/ext_llm_collocation.cc.o.d"
+  "ext_llm_collocation"
+  "ext_llm_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_llm_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_swapping.dir/ext_memory_swapping.cc.o"
+  "CMakeFiles/ext_memory_swapping.dir/ext_memory_swapping.cc.o.d"
+  "ext_memory_swapping"
+  "ext_memory_swapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_swapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

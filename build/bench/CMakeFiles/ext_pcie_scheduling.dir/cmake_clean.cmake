@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pcie_scheduling.dir/ext_pcie_scheduling.cc.o"
+  "CMakeFiles/ext_pcie_scheduling.dir/ext_pcie_scheduling.cc.o.d"
+  "ext_pcie_scheduling"
+  "ext_pcie_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pcie_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

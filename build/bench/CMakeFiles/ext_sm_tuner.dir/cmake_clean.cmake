@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sm_tuner.dir/ext_sm_tuner.cc.o"
+  "CMakeFiles/ext_sm_tuner.dir/ext_sm_tuner.cc.o.d"
+  "ext_sm_tuner"
+  "ext_sm_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sm_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_util_timeline.dir/fig01_util_timeline.cc.o"
+  "CMakeFiles/fig01_util_timeline.dir/fig01_util_timeline.cc.o.d"
+  "fig01_util_timeline"
+  "fig01_util_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_util_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

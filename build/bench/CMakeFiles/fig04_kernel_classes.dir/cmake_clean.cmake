@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_kernel_classes.dir/fig04_kernel_classes.cc.o"
+  "CMakeFiles/fig04_kernel_classes.dir/fig04_kernel_classes.cc.o.d"
+  "fig04_kernel_classes"
+  "fig04_kernel_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_kernel_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

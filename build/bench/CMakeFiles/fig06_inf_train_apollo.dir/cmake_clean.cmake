@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_inf_train_apollo.dir/fig06_inf_train_apollo.cc.o"
+  "CMakeFiles/fig06_inf_train_apollo.dir/fig06_inf_train_apollo.cc.o.d"
+  "fig06_inf_train_apollo"
+  "fig06_inf_train_apollo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_inf_train_apollo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_inf_train_apollo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_inf_train_apollo.
+# This may be replaced when dependencies are built.

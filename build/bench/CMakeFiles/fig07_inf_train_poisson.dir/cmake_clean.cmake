@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_inf_train_poisson.dir/fig07_inf_train_poisson.cc.o"
+  "CMakeFiles/fig07_inf_train_poisson.dir/fig07_inf_train_poisson.cc.o.d"
+  "fig07_inf_train_poisson"
+  "fig07_inf_train_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_inf_train_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

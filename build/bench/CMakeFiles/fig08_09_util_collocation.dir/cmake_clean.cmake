@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_util_collocation.dir/fig08_09_util_collocation.cc.o"
+  "CMakeFiles/fig08_09_util_collocation.dir/fig08_09_util_collocation.cc.o.d"
+  "fig08_09_util_collocation"
+  "fig08_09_util_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_util_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

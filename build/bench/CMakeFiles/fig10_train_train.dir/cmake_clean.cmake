@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_train_train.dir/fig10_train_train.cc.o"
+  "CMakeFiles/fig10_train_train.dir/fig10_train_train.cc.o.d"
+  "fig10_train_train"
+  "fig10_train_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_train_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

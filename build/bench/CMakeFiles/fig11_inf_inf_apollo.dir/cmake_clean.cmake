@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_inf_inf_apollo.dir/fig11_inf_inf_apollo.cc.o"
+  "CMakeFiles/fig11_inf_inf_apollo.dir/fig11_inf_inf_apollo.cc.o.d"
+  "fig11_inf_inf_apollo"
+  "fig11_inf_inf_apollo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_inf_inf_apollo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

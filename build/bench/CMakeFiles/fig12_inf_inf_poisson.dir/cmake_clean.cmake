@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inf_inf_poisson.dir/fig12_inf_inf_poisson.cc.o"
+  "CMakeFiles/fig12_inf_inf_poisson.dir/fig12_inf_inf_poisson.cc.o.d"
+  "fig12_inf_inf_poisson"
+  "fig12_inf_inf_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inf_inf_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_a100_multiclient.dir/fig13_a100_multiclient.cc.o"
+  "CMakeFiles/fig13_a100_multiclient.dir/fig13_a100_multiclient.cc.o.d"
+  "fig13_a100_multiclient"
+  "fig13_a100_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_a100_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

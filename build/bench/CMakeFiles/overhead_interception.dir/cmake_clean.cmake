@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_interception.dir/overhead_interception.cc.o"
+  "CMakeFiles/overhead_interception.dir/overhead_interception.cc.o.d"
+  "overhead_interception"
+  "overhead_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

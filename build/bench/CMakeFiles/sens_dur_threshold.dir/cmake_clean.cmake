@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_dur_threshold.dir/sens_dur_threshold.cc.o"
+  "CMakeFiles/sens_dur_threshold.dir/sens_dur_threshold.cc.o.d"
+  "sens_dur_threshold"
+  "sens_dur_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_dur_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

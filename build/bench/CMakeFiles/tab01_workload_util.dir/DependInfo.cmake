@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab01_workload_util.cc" "bench/CMakeFiles/tab01_workload_util.dir/tab01_workload_util.cc.o" "gcc" "bench/CMakeFiles/tab01_workload_util.dir/tab01_workload_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/orion_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/orion_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/orion_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/orion_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/orion_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/orion_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/orion_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

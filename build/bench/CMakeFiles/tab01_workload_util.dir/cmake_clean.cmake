@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_workload_util.dir/tab01_workload_util.cc.o"
+  "CMakeFiles/tab01_workload_util.dir/tab01_workload_util.cc.o.d"
+  "tab01_workload_util"
+  "tab01_workload_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_workload_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

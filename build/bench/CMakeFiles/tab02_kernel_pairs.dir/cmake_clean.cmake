@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_kernel_pairs.dir/tab02_kernel_pairs.cc.o"
+  "CMakeFiles/tab02_kernel_pairs.dir/tab02_kernel_pairs.cc.o.d"
+  "tab02_kernel_pairs"
+  "tab02_kernel_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_kernel_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

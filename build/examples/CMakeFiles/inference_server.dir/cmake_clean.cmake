@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_server.dir/inference_server.cpp.o"
+  "CMakeFiles/inference_server.dir/inference_server.cpp.o.d"
+  "inference_server"
+  "inference_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_sim_cli.dir/orion_sim_cli.cpp.o"
+  "CMakeFiles/orion_sim_cli.dir/orion_sim_cli.cpp.o.d"
+  "orion_sim_cli"
+  "orion_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_baselines.dir/passthrough.cc.o"
+  "CMakeFiles/orion_baselines.dir/passthrough.cc.o.d"
+  "CMakeFiles/orion_baselines.dir/reef.cc.o"
+  "CMakeFiles/orion_baselines.dir/reef.cc.o.d"
+  "CMakeFiles/orion_baselines.dir/temporal.cc.o"
+  "CMakeFiles/orion_baselines.dir/temporal.cc.o.d"
+  "CMakeFiles/orion_baselines.dir/ticktock.cc.o"
+  "CMakeFiles/orion_baselines.dir/ticktock.cc.o.d"
+  "liborion_baselines.a"
+  "liborion_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/placement.cc" "src/cluster/CMakeFiles/orion_cluster.dir/placement.cc.o" "gcc" "src/cluster/CMakeFiles/orion_cluster.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/orion_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/orion_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/orion_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

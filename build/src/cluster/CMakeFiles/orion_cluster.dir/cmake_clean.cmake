@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_cluster.dir/placement.cc.o"
+  "CMakeFiles/orion_cluster.dir/placement.cc.o.d"
+  "liborion_cluster.a"
+  "liborion_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_common.dir/rng.cc.o"
+  "CMakeFiles/orion_common.dir/rng.cc.o.d"
+  "CMakeFiles/orion_common.dir/stats.cc.o"
+  "CMakeFiles/orion_common.dir/stats.cc.o.d"
+  "CMakeFiles/orion_common.dir/table.cc.o"
+  "CMakeFiles/orion_common.dir/table.cc.o.d"
+  "liborion_common.a"
+  "liborion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_core.dir/orion_scheduler.cc.o"
+  "CMakeFiles/orion_core.dir/orion_scheduler.cc.o.d"
+  "liborion_core.a"
+  "liborion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/orion_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/orion_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "src/gpusim/CMakeFiles/orion_gpusim.dir/device_spec.cc.o" "gcc" "src/gpusim/CMakeFiles/orion_gpusim.dir/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/kernel.cc" "src/gpusim/CMakeFiles/orion_gpusim.dir/kernel.cc.o" "gcc" "src/gpusim/CMakeFiles/orion_gpusim.dir/kernel.cc.o.d"
+  "/root/repo/src/gpusim/trace_export.cc" "src/gpusim/CMakeFiles/orion_gpusim.dir/trace_export.cc.o" "gcc" "src/gpusim/CMakeFiles/orion_gpusim.dir/trace_export.cc.o.d"
+  "/root/repo/src/gpusim/utilization.cc" "src/gpusim/CMakeFiles/orion_gpusim.dir/utilization.cc.o" "gcc" "src/gpusim/CMakeFiles/orion_gpusim.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_gpusim.dir/device.cc.o"
+  "CMakeFiles/orion_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/orion_gpusim.dir/device_spec.cc.o"
+  "CMakeFiles/orion_gpusim.dir/device_spec.cc.o.d"
+  "CMakeFiles/orion_gpusim.dir/kernel.cc.o"
+  "CMakeFiles/orion_gpusim.dir/kernel.cc.o.d"
+  "CMakeFiles/orion_gpusim.dir/trace_export.cc.o"
+  "CMakeFiles/orion_gpusim.dir/trace_export.cc.o.d"
+  "CMakeFiles/orion_gpusim.dir/utilization.cc.o"
+  "CMakeFiles/orion_gpusim.dir/utilization.cc.o.d"
+  "liborion_gpusim.a"
+  "liborion_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

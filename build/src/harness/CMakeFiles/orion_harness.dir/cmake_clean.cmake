@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_harness.dir/client_driver.cc.o"
+  "CMakeFiles/orion_harness.dir/client_driver.cc.o.d"
+  "CMakeFiles/orion_harness.dir/experiment.cc.o"
+  "CMakeFiles/orion_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/orion_harness.dir/sm_tuner.cc.o"
+  "CMakeFiles/orion_harness.dir/sm_tuner.cc.o.d"
+  "liborion_harness.a"
+  "liborion_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_profiler.dir/profiler.cc.o"
+  "CMakeFiles/orion_profiler.dir/profiler.cc.o.d"
+  "liborion_profiler.a"
+  "liborion_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

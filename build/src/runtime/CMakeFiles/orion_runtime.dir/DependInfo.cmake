@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/gpu_runtime.cc" "src/runtime/CMakeFiles/orion_runtime.dir/gpu_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/orion_runtime.dir/gpu_runtime.cc.o.d"
+  "/root/repo/src/runtime/memory_manager.cc" "src/runtime/CMakeFiles/orion_runtime.dir/memory_manager.cc.o" "gcc" "src/runtime/CMakeFiles/orion_runtime.dir/memory_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/orion_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_runtime.dir/gpu_runtime.cc.o"
+  "CMakeFiles/orion_runtime.dir/gpu_runtime.cc.o.d"
+  "CMakeFiles/orion_runtime.dir/memory_manager.cc.o"
+  "CMakeFiles/orion_runtime.dir/memory_manager.cc.o.d"
+  "liborion_runtime.a"
+  "liborion_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_sim.dir/simulator.cc.o"
+  "CMakeFiles/orion_sim.dir/simulator.cc.o.d"
+  "liborion_sim.a"
+  "liborion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

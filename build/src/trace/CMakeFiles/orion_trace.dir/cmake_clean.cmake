@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_trace.dir/arrivals.cc.o"
+  "CMakeFiles/orion_trace.dir/arrivals.cc.o.d"
+  "CMakeFiles/orion_trace.dir/file_trace.cc.o"
+  "CMakeFiles/orion_trace.dir/file_trace.cc.o.d"
+  "CMakeFiles/orion_trace.dir/request_rates.cc.o"
+  "CMakeFiles/orion_trace.dir/request_rates.cc.o.d"
+  "liborion_trace.a"
+  "liborion_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

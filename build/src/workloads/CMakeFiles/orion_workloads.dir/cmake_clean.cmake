@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_workloads.dir/cost_model.cc.o"
+  "CMakeFiles/orion_workloads.dir/cost_model.cc.o.d"
+  "CMakeFiles/orion_workloads.dir/layers.cc.o"
+  "CMakeFiles/orion_workloads.dir/layers.cc.o.d"
+  "CMakeFiles/orion_workloads.dir/models.cc.o"
+  "CMakeFiles/orion_workloads.dir/models.cc.o.d"
+  "liborion_workloads.a"
+  "liborion_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_graphs_test.dir/cuda_graphs_test.cc.o"
+  "CMakeFiles/cuda_graphs_test.dir/cuda_graphs_test.cc.o.d"
+  "cuda_graphs_test"
+  "cuda_graphs_test.pdb"
+  "cuda_graphs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

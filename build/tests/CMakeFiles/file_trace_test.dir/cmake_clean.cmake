@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_trace_test.dir/file_trace_test.cc.o"
+  "CMakeFiles/file_trace_test.dir/file_trace_test.cc.o.d"
+  "file_trace_test"
+  "file_trace_test.pdb"
+  "file_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

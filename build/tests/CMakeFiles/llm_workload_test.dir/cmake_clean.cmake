@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_workload_test.dir/llm_workload_test.cc.o"
+  "CMakeFiles/llm_workload_test.dir/llm_workload_test.cc.o.d"
+  "llm_workload_test"
+  "llm_workload_test.pdb"
+  "llm_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_scheduler_test.dir/orion_scheduler_test.cc.o"
+  "CMakeFiles/orion_scheduler_test.dir/orion_scheduler_test.cc.o.d"
+  "orion_scheduler_test"
+  "orion_scheduler_test.pdb"
+  "orion_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

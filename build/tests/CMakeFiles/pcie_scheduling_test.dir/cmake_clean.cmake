@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_scheduling_test.dir/pcie_scheduling_test.cc.o"
+  "CMakeFiles/pcie_scheduling_test.dir/pcie_scheduling_test.cc.o.d"
+  "pcie_scheduling_test"
+  "pcie_scheduling_test.pdb"
+  "pcie_scheduling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

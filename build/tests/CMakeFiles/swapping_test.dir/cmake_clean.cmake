@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapping_test.dir/swapping_test.cc.o"
+  "CMakeFiles/swapping_test.dir/swapping_test.cc.o.d"
+  "swapping_test"
+  "swapping_test.pdb"
+  "swapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

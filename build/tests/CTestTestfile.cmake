@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/device_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/orion_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/device_property_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sm_tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_scheduling_test[1]_include.cmake")
+include("/root/repo/build/tests/swapping_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/cuda_graphs_test[1]_include.cmake")
+include("/root/repo/build/tests/mig_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
+include("/root/repo/build/tests/file_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/utilization_test[1]_include.cmake")
