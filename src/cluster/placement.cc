@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -52,20 +53,53 @@ double PairInterference(const JobSignature& a, const JobSignature& b) {
   return compute_clash + memory_clash + 0.5 * phase_clash;
 }
 
+namespace {
+
+// Visits the k-combinations of {0..n-1} in lexicographic order.
+template <typename Fn>
+void ForEachCombination(int n, int k, Fn visit) {
+  std::vector<int> set(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    set[static_cast<std::size_t>(i)] = i;
+  }
+  while (true) {
+    visit(set);
+    int i = k - 1;
+    while (i >= 0 && set[static_cast<std::size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      return;
+    }
+    ++set[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      set[static_cast<std::size_t>(j)] = set[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
 std::optional<Placement> PlacementEngine::Place(const std::vector<JobSignature>& jobs,
                                                 const PlacementOptions& options) {
   ORION_CHECK(options.num_gpus >= 1);
   ORION_CHECK(options.max_jobs_per_gpu >= 1);
+  if (options.topology.has_value()) {
+    ORION_CHECK_MSG(options.topology->num_gpus() == options.num_gpus,
+                    "topology GPU count does not match num_gpus");
+  }
   const std::size_t capacity =
       options.gpu_memory_bytes > 0 ? options.gpu_memory_bytes : options.device.memory_bytes;
 
   Placement placement;
   placement.gpu_jobs.assign(static_cast<std::size_t>(options.num_gpus), {});
+  placement.job_gpus.assign(jobs.size(), {});
   std::vector<std::size_t> used_bytes(static_cast<std::size_t>(options.num_gpus), 0);
   std::vector<bool> has_hp(static_cast<std::size_t>(options.num_gpus), false);
 
   // Greedy in a stable order: latency-critical jobs first (they anchor
-  // GPUs), then by memory footprint descending (hardest to pack first).
+  // GPUs), then by memory footprint descending (hardest to pack first),
+  // width as the final tie-break.
   std::vector<std::size_t> order(jobs.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
@@ -74,45 +108,68 @@ std::optional<Placement> PlacementEngine::Place(const std::vector<JobSignature>&
     if (jobs[a].high_priority != jobs[b].high_priority) {
       return jobs[a].high_priority;
     }
-    return jobs[a].state_bytes > jobs[b].state_bytes;
+    if (jobs[a].state_bytes != jobs[b].state_bytes) {
+      return jobs[a].state_bytes > jobs[b].state_bytes;
+    }
+    return jobs[a].gpus_required > jobs[b].gpus_required;
   });
 
   for (const std::size_t job : order) {
     const JobSignature& sig = jobs[job];
-    int best_gpu = -1;
-    double best_score = std::numeric_limits<double>::infinity();
-    for (int gpu = 0; gpu < options.num_gpus; ++gpu) {
-      const auto g = static_cast<std::size_t>(gpu);
-      if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu) {
-        continue;
-      }
-      if (used_bytes[g] + sig.state_bytes > capacity) {
-        continue;
-      }
-      if (sig.high_priority && has_hp[g]) {
-        continue;  // one latency-critical job per GPU
-      }
+    const int width = std::max(1, sig.gpus_required);
+    if (width > options.num_gpus) {
+      return std::nullopt;
+    }
+
+    // Best candidate set: fewest PCIe-crossing ring hops first (NVLink
+    // pairs beat cross-pair sets), then least added interference with a
+    // small emptier-is-better tie-break, then lexicographic GPU order.
+    std::vector<int> best_set;
+    auto best_score = std::make_pair(std::numeric_limits<int>::max(),
+                                     std::numeric_limits<double>::infinity());
+    ForEachCombination(options.num_gpus, width, [&](const std::vector<int>& set) {
       double added = 0.0;
-      for (const std::size_t other : placement.gpu_jobs[g]) {
-        added += PairInterference(sig, jobs[other]);
+      std::size_t occupants = 0;
+      for (const int gpu : set) {
+        const auto g = static_cast<std::size_t>(gpu);
+        if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu) {
+          return;
+        }
+        if (used_bytes[g] + sig.state_bytes > capacity) {
+          return;
+        }
+        if (sig.high_priority && has_hp[g]) {
+          return;  // one latency-critical job per GPU
+        }
+        for (const std::size_t other : placement.gpu_jobs[g]) {
+          added += PairInterference(sig, jobs[other]);
+        }
+        occupants += placement.gpu_jobs[g].size();
       }
-      // Prefer emptier GPUs on ties so hp jobs spread out.
-      const double score = added + 1e-3 * static_cast<double>(placement.gpu_jobs[g].size());
+      const int cross_hops =
+          options.topology.has_value() && width > 1
+              ? options.topology->CrossPcieHops(options.topology->PreferredRing(set))
+              : 0;
+      const auto score =
+          std::make_pair(cross_hops, added + 1e-3 * static_cast<double>(occupants));
       if (score < best_score) {
         best_score = score;
-        best_gpu = gpu;
+        best_set = set;
       }
-    }
-    if (best_gpu < 0) {
+    });
+    if (best_set.empty()) {
       return std::nullopt;  // infeasible under the given limits
     }
-    const auto g = static_cast<std::size_t>(best_gpu);
-    for (const std::size_t other : placement.gpu_jobs[g]) {
-      placement.predicted_interference += PairInterference(sig, jobs[other]);
+    for (const int gpu : best_set) {
+      const auto g = static_cast<std::size_t>(gpu);
+      for (const std::size_t other : placement.gpu_jobs[g]) {
+        placement.predicted_interference += PairInterference(sig, jobs[other]);
+      }
+      placement.gpu_jobs[g].push_back(job);
+      used_bytes[g] += sig.state_bytes;
+      has_hp[g] = has_hp[g] || sig.high_priority;
     }
-    placement.gpu_jobs[g].push_back(job);
-    used_bytes[g] += sig.state_bytes;
-    has_hp[g] = has_hp[g] || sig.high_priority;
+    placement.job_gpus[job] = best_set;
   }
   return placement;
 }
@@ -124,15 +181,30 @@ std::optional<Placement> PlacementEngine::PlaceRoundRobin(const std::vector<JobS
       options.gpu_memory_bytes > 0 ? options.gpu_memory_bytes : options.device.memory_bytes;
   Placement placement;
   placement.gpu_jobs.assign(static_cast<std::size_t>(options.num_gpus), {});
+  placement.job_gpus.assign(jobs.size(), {});
   std::vector<std::size_t> used_bytes(static_cast<std::size_t>(options.num_gpus), 0);
+  // Multi-GPU jobs take consecutive GPU indices from the rotating cursor,
+  // link topology ignored (that is the point of the baseline).
+  std::size_t cursor = 0;
   for (std::size_t job = 0; job < jobs.size(); ++job) {
-    const auto g = job % static_cast<std::size_t>(options.num_gpus);
-    if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu ||
-        used_bytes[g] + jobs[job].state_bytes > capacity) {
+    const int width = std::max(1, jobs[job].gpus_required);
+    if (width > options.num_gpus) {
       return std::nullopt;
     }
-    placement.gpu_jobs[g].push_back(job);
-    used_bytes[g] += jobs[job].state_bytes;
+    for (int i = 0; i < width; ++i) {
+      const auto g = (cursor + static_cast<std::size_t>(i)) %
+                     static_cast<std::size_t>(options.num_gpus);
+      if (static_cast<int>(placement.gpu_jobs[g].size()) >= options.max_jobs_per_gpu ||
+          used_bytes[g] + jobs[job].state_bytes > capacity) {
+        return std::nullopt;
+      }
+      placement.gpu_jobs[g].push_back(job);
+      used_bytes[g] += jobs[job].state_bytes;
+      placement.job_gpus[job].push_back(static_cast<int>(g));
+    }
+    std::sort(placement.job_gpus[job].begin(), placement.job_gpus[job].end());
+    cursor = (cursor + static_cast<std::size_t>(width)) %
+             static_cast<std::size_t>(options.num_gpus);
   }
   placement.predicted_interference = ScorePlacement(jobs, placement);
   return placement;

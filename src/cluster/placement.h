@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/gpusim/device_spec.h"
+#include "src/interconnect/topology.h"
 #include "src/profiler/profiler.h"
 #include "src/workloads/models.h"
 
@@ -31,6 +32,10 @@ struct JobSignature {
   std::string name;
   workloads::WorkloadSpec workload;
   bool high_priority = false;
+  // Multi-GPU (data-parallel) jobs occupy a slot and `state_bytes` on each
+  // of `gpus_required` GPUs; the engine prefers link-adjacent GPU sets
+  // (NVLink pairs) so the job's all-reduce ring avoids the PCIe root.
+  int gpus_required = 1;
 
   // Time-weighted mean utilization over the job's kernels (offline profile).
   double compute_intensity = 0.0;
@@ -52,8 +57,12 @@ JobSignature MakeSignature(const gpusim::DeviceSpec& device,
 double PairInterference(const JobSignature& a, const JobSignature& b);
 
 struct Placement {
-  // gpu_jobs[g] lists indices into the input job vector.
+  // gpu_jobs[g] lists indices into the input job vector; a multi-GPU job
+  // appears under every GPU it occupies.
   std::vector<std::vector<std::size_t>> gpu_jobs;
+  // job_gpus[j] lists the GPUs job j landed on (ascending; size 1 for
+  // single-GPU jobs).
+  std::vector<std::vector<int>> job_gpus;
   // Sum of PairInterference over all collocated pairs.
   double predicted_interference = 0.0;
 };
@@ -63,6 +72,10 @@ struct PlacementOptions {
   std::size_t gpu_memory_bytes = 0;  // 0 = use device preset
   gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
   int max_jobs_per_gpu = 2;
+  // Node link topology, used to score candidate GPU sets for multi-GPU jobs
+  // (fewer PCIe-crossing ring hops wins). Unset = all sets link-equivalent.
+  // When set, its GPU count must equal num_gpus.
+  std::optional<interconnect::NodeTopology> topology;
 };
 
 class PlacementEngine {

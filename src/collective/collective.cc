@@ -1,0 +1,176 @@
+#include "src/collective/collective.h"
+
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace collective {
+
+const char* CollectiveKindName(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "all_reduce";
+    case CollectiveKind::kAllGather:
+      return "all_gather";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+  }
+  return "invalid";
+}
+
+CollectiveEngine::CollectiveEngine(Simulator* sim, interconnect::Fabric* fabric)
+    : sim_(sim), fabric_(fabric) {
+  ORION_CHECK(sim_ != nullptr);
+  ORION_CHECK(fabric_ != nullptr);
+}
+
+void CollectiveEngine::BindCommStream(int gpu, gpusim::Device* device,
+                                      gpusim::StreamId stream) {
+  ORION_CHECK(device != nullptr);
+  ORION_CHECK(stream != gpusim::kInvalidStream);
+  channels_[gpu] = CommChannel{device, stream};
+}
+
+void CollectiveEngine::AllReduce(const std::vector<int>& ring, std::size_t bytes,
+                                 Callback done) {
+  Start(CollectiveKind::kAllReduce, ring, bytes, std::move(done));
+}
+
+void CollectiveEngine::AllGather(const std::vector<int>& ring, std::size_t bytes,
+                                 Callback done) {
+  Start(CollectiveKind::kAllGather, ring, bytes, std::move(done));
+}
+
+void CollectiveEngine::Broadcast(const std::vector<int>& ring, std::size_t bytes,
+                                 Callback done) {
+  Start(CollectiveKind::kBroadcast, ring, bytes, std::move(done));
+}
+
+void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring,
+                             std::size_t bytes, Callback done) {
+  ORION_CHECK(!ring.empty());
+  const std::set<int> distinct(ring.begin(), ring.end());
+  ORION_CHECK_MSG(distinct.size() == ring.size(), "ring has duplicate GPU ids");
+
+  ++collectives_inflight_;
+  payload_bytes_total_ += static_cast<double>(bytes);
+
+  const int n = static_cast<int>(ring.size());
+  if (n == 1 || bytes == 0) {
+    sim_->ScheduleAfter(0.0, [this, done = std::move(done)]() mutable {
+      ++collectives_completed_;
+      --collectives_inflight_;
+      if (done) {
+        done();
+      }
+    });
+    return;
+  }
+
+  auto op = std::make_shared<RingOp>();
+  op->kind = kind;
+  op->ring = ring;
+  op->done = std::move(done);
+  // Payload split N ways; the remainder spreads over the leading chunks so
+  // the chunk sizes sum exactly to `bytes`.
+  const std::size_t base = bytes / static_cast<std::size_t>(n);
+  const std::size_t rem = bytes % static_cast<std::size_t>(n);
+  op->chunk_bytes.resize(static_cast<std::size_t>(n));
+  for (std::size_t c = 0; c < op->chunk_bytes.size(); ++c) {
+    op->chunk_bytes[c] = base + (c < rem ? 1 : 0);
+  }
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      op->total_steps = 2 * (n - 1);
+      break;
+    case CollectiveKind::kAllGather:
+      op->total_steps = n - 1;
+      break;
+    case CollectiveKind::kBroadcast:
+      // Chunked pipeline over n-1 hops: chunk c crosses hop h in round
+      // c + h, so the last chunk leaves the last hop in round 2n - 3.
+      op->total_steps = 2 * n - 2;
+      break;
+  }
+  RunStep(op);
+}
+
+void CollectiveEngine::RunStep(const std::shared_ptr<RingOp>& op) {
+  const int n = static_cast<int>(op->ring.size());
+  // (src, dst, bytes) sends of this step.
+  struct Send {
+    int src;
+    int dst;
+    std::size_t bytes;
+  };
+  std::vector<Send> sends;
+  if (op->kind == CollectiveKind::kBroadcast) {
+    // Wavefront pipeline: chunk c crosses hop h (ring[h] -> ring[h+1]) in
+    // round c + h.
+    for (int h = 0; h + 1 < n; ++h) {
+      const int c = op->step - h;
+      if (c >= 0 && c < n) {
+        sends.push_back({op->ring[static_cast<std::size_t>(h)],
+                         op->ring[static_cast<std::size_t>(h + 1)],
+                         op->chunk_bytes[static_cast<std::size_t>(c)]});
+      }
+    }
+  } else {
+    // Ring step s: the GPU at position i forwards chunk (i - s) mod n to its
+    // successor. Over the 2*(n-1) all-reduce steps this puts exactly
+    // 2*(n-1)/n of the payload on every ring-adjacent link direction.
+    for (int i = 0; i < n; ++i) {
+      const int c = ((i - op->step) % n + n) % n;
+      sends.push_back({op->ring[static_cast<std::size_t>(i)],
+                       op->ring[static_cast<std::size_t>((i + 1) % n)],
+                       op->chunk_bytes[static_cast<std::size_t>(c)]});
+    }
+  }
+  ORION_CHECK(!sends.empty());
+
+  op->pending_in_step = static_cast<int>(sends.size());
+  for (const Send& send : sends) {
+    IssueSend(send.src, send.dst, send.bytes, [this, op]() {
+      if (--op->pending_in_step > 0) {
+        return;
+      }
+      ++op->step;
+      if (op->step == op->total_steps) {
+        FinishCollective(op);
+      } else {
+        RunStep(op);
+      }
+    });
+  }
+}
+
+void CollectiveEngine::FinishCollective(const std::shared_ptr<RingOp>& op) {
+  ++collectives_completed_;
+  --collectives_inflight_;
+  if (op->done) {
+    Callback done = std::move(op->done);
+    done();
+  }
+}
+
+void CollectiveEngine::IssueSend(int src, int dst, std::size_t bytes, Callback done) {
+  const auto channel = channels_.find(src);
+  if (channel != channels_.end()) {
+    // Bound GPUs issue through their comm stream: the send occupies the
+    // stream until the wire transfer completes, FIFO with any other comm
+    // ops, and is visible to StreamIdle / SynchronizeDevice.
+    channel->second.device->EnqueueExternal(
+        channel->second.stream,
+        [this, src, dst, bytes](gpusim::Device::CompletionCb on_wire_done) {
+          fabric_->StartTransfer(src, dst, bytes, std::move(on_wire_done));
+        },
+        std::move(done));
+    return;
+  }
+  fabric_->StartTransfer(src, dst, bytes, std::move(done));
+}
+
+}  // namespace collective
+}  // namespace orion

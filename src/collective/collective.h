@@ -1,0 +1,109 @@
+// Ring collectives over the interconnect fabric.
+//
+// Implements the communication pattern of distributed data-parallel training
+// (gradient all-reduce) plus thin variants (broadcast, all-gather) as
+// sequences of link transfers on a Fabric:
+//
+//   * All-reduce: the classic ring algorithm — reduce-scatter then
+//     all-gather. The payload is cut into N chunks; in each of the 2*(N-1)
+//     steps every GPU sends one chunk (~bytes/N) to its ring successor, so
+//     each ring-adjacent link direction carries exactly 2*(N-1)/N * bytes.
+//   * All-gather: the second phase alone, N-1 steps, (N-1)/N * bytes per
+//     link direction.
+//   * Broadcast: a chunked pipeline around the ring from the root; every
+//     link direction of the first N-1 hops carries the full payload once.
+//
+// Steps run in lockstep (a step starts when every GPU finished the previous
+// one) — the bulk-synchronous shape of NCCL ring collectives without its
+// intra-step pipelining; chunk-level overlap within a step is deliberately
+// not modeled. Local reduction arithmetic is treated as free (it is orders
+// of magnitude faster than the wire).
+//
+// Each GPU's sends can be bound to a communication stream on its simulated
+// Device (BindCommStream): sends are then enqueued as stream ops, FIFO with
+// other comm traffic on the GPU and visible to schedulers and device
+// synchronisation, exactly like cudaMemcpyPeerAsync on a dedicated stream.
+#ifndef SRC_COLLECTIVE_COLLECTIVE_H_
+#define SRC_COLLECTIVE_COLLECTIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/gpusim/device.h"
+#include "src/interconnect/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace collective {
+
+enum class CollectiveKind : std::uint8_t { kAllReduce, kAllGather, kBroadcast };
+
+const char* CollectiveKindName(CollectiveKind kind);
+
+class CollectiveEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  CollectiveEngine(Simulator* sim, interconnect::Fabric* fabric);
+  CollectiveEngine(const CollectiveEngine&) = delete;
+  CollectiveEngine& operator=(const CollectiveEngine&) = delete;
+
+  // Routes GPU `gpu`'s collective sends through `stream` on `device` (an
+  // external op per send). Unbound GPUs issue directly on the fabric.
+  void BindCommStream(int gpu, gpusim::Device* device, gpusim::StreamId stream);
+
+  // `ring` lists distinct GPU ids in ring order (use
+  // NodeTopology::PreferredRing to maximise NVLink adjacency). `bytes` is
+  // the payload per GPU (all-reduce: the gradient buffer size; all-gather:
+  // the total gathered size; broadcast: the buffer sent by ring.front()).
+  // `done` fires via a simulator event when the collective completes on
+  // every GPU. A 1-GPU ring or empty payload completes immediately.
+  void AllReduce(const std::vector<int>& ring, std::size_t bytes, Callback done);
+  void AllGather(const std::vector<int>& ring, std::size_t bytes, Callback done);
+  void Broadcast(const std::vector<int>& ring, std::size_t bytes, Callback done);
+
+  std::size_t collectives_completed() const { return collectives_completed_; }
+  std::size_t collectives_inflight() const { return collectives_inflight_; }
+  double payload_bytes_total() const { return payload_bytes_total_; }
+
+ private:
+  struct CommChannel {
+    gpusim::Device* device = nullptr;
+    gpusim::StreamId stream = gpusim::kInvalidStream;
+  };
+
+  struct RingOp {
+    CollectiveKind kind = CollectiveKind::kAllReduce;
+    std::vector<int> ring;
+    // Chunk sizes by chunk index (payload split N ways, remainder spread
+    // over the leading chunks so the sizes sum exactly to the payload).
+    std::vector<std::size_t> chunk_bytes;
+    int step = 0;
+    int total_steps = 0;
+    int pending_in_step = 0;
+    Callback done;
+  };
+
+  void Start(CollectiveKind kind, const std::vector<int>& ring, std::size_t bytes,
+             Callback done);
+  void RunStep(const std::shared_ptr<RingOp>& op);
+  void FinishCollective(const std::shared_ptr<RingOp>& op);
+  // Issues one GPU-to-GPU send, through the comm stream when bound.
+  void IssueSend(int src, int dst, std::size_t bytes, Callback done);
+
+  Simulator* sim_;
+  interconnect::Fabric* fabric_;
+  std::map<int, CommChannel> channels_;
+  std::size_t collectives_completed_ = 0;
+  std::size_t collectives_inflight_ = 0;
+  double payload_bytes_total_ = 0.0;
+};
+
+}  // namespace collective
+}  // namespace orion
+
+#endif  // SRC_COLLECTIVE_COLLECTIVE_H_

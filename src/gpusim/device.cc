@@ -101,6 +101,24 @@ void Device::RecordEvent(StreamId stream, GpuEvent* event, CompletionCb done) {
   ActivateStreamHead(stream);
 }
 
+void Device::EnqueueExternal(StreamId stream, ExternalBody body, CompletionCb done) {
+  ORION_CHECK(stream >= 0 && stream < static_cast<int>(streams_.size()));
+  ORION_CHECK(body != nullptr);
+  Op op;
+  op.type = Op::Type::kExternal;
+  op.external = std::move(body);
+  op.done = std::move(done);
+  op.seq = next_seq_++;
+  streams_[static_cast<std::size_t>(stream)].queue.push_back(std::move(op));
+  ActivateStreamHead(stream);
+}
+
+void Device::AttachHostLink(HostLinkModel* host_link, int gpu_index) {
+  ORION_CHECK(!copy_active_ && copy_queue_.empty());
+  host_link_ = host_link;
+  gpu_index_ = gpu_index;
+}
+
 void Device::SynchronizeDevice(CompletionCb done) {
   ORION_CHECK(done != nullptr);
   sync_waiters_.push_back(std::move(done));
@@ -193,11 +211,23 @@ void Device::ActivateStreamHead(StreamId stream_id) {
         running_.push_back(std::move(rk));
         return;  // SM grant happens in Reschedule()
       }
+      case Op::Type::kExternal: {
+        ExternalBody body = std::move(front.external);
+        CompletionCb done = std::move(front.done);
+        stream.queue.pop_front();
+        stream.head_active = true;
+        body([this, stream_id, done = std::move(done)]() mutable {
+          FinishOp(stream_id, std::move(done));
+          Reschedule();
+        });
+        return;
+      }
       case Op::Type::kMemcpy: {
         PendingCopy copy;
         copy.stream = stream_id;
         copy.bytes = front.bytes;
         copy.priority = stream.priority;
+        copy.kind = front.memcpy_kind;
         copy.seq = front.seq;
         copy.done = std::move(front.done);
         stream.queue.pop_front();
@@ -255,23 +285,33 @@ void Device::StartNextCopy() {
   const std::size_t chunk =
       pcie_priority_ ? std::min(copy.bytes, kCopyChunkBytes) : copy.bytes;
   const DurationUs setup = copy.started ? 0.0 : spec_.pcie_latency_us;
-  const DurationUs duration = setup + static_cast<double>(chunk) / (spec_.pcie_gbps * 1e3);
+  const bool via_fabric = host_link_ != nullptr && copy.kind != MemcpyKind::kDeviceToDevice;
+  const bool to_device = copy.kind == MemcpyKind::kHostToDevice;
   copy.bytes -= chunk;
   copy.started = true;
 
-  copy_event_ =
-      sim_->ScheduleAfter(duration, [this, copy = std::move(copy)]() mutable {
-        copy_active_ = false;
-        if (copy.bytes > 0) {
-          // Re-queue the remainder; a higher-priority copy may now cut in.
-          copy_queue_.push_back(std::move(copy));
-        } else {
-          ++memcpys_completed_;
-          FinishOp(copy.stream, std::move(copy.done));
-        }
-        StartNextCopy();
-        Reschedule();
-      });
+  auto on_chunk_done = [this, copy = std::move(copy)]() mutable {
+    copy_active_ = false;
+    if (copy.bytes > 0) {
+      // Re-queue the remainder; a higher-priority copy may now cut in.
+      copy_queue_.push_back(std::move(copy));
+    } else {
+      ++memcpys_completed_;
+      FinishOp(copy.stream, std::move(copy.done));
+    }
+    StartNextCopy();
+    Reschedule();
+  };
+
+  if (via_fabric) {
+    // Wire time (including link latency and any contention from other
+    // traffic on the node) comes from the shared fabric; the engine still
+    // serialises one chunk at a time.
+    host_link_->StartHostCopy(gpu_index_, chunk, to_device, std::move(on_chunk_done));
+    return;
+  }
+  const DurationUs duration = setup + static_cast<double>(chunk) / (spec_.pcie_gbps * 1e3);
+  copy_event_ = sim_->ScheduleAfter(duration, std::move(on_chunk_done));
 }
 
 void Device::ComputeRates(std::vector<std::pair<RunningKernel*, double>>* rates) {

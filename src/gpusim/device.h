@@ -32,6 +32,7 @@
 
 #include "src/common/time_types.h"
 #include "src/gpusim/device_spec.h"
+#include "src/gpusim/host_link.h"
 #include "src/gpusim/kernel.h"
 #include "src/gpusim/utilization.h"
 #include "src/sim/simulator.h"
@@ -92,6 +93,14 @@ class Device {
   void EnqueueMemset(StreamId stream, std::size_t bytes, CompletionCb done = nullptr);
   // Completes when every op previously enqueued on `stream` has completed.
   void RecordEvent(StreamId stream, GpuEvent* event, CompletionCb done = nullptr);
+  // Enqueues an externally-executed op (e.g. a collective's link transfer,
+  // src/collective): when the op reaches the stream head, `body` runs with a
+  // completion callback, and the stream stays blocked until that callback
+  // fires. This keeps external work FIFO-ordered with the stream's other ops
+  // and visible to StreamIdle / SynchronizeDevice, without the device
+  // knowing what the work is.
+  using ExternalBody = std::function<void(CompletionCb)>;
+  void EnqueueExternal(StreamId stream, ExternalBody body, CompletionCb done = nullptr);
   // Fires once every stream has drained (device-wide synchronisation, the
   // semantics cudaMalloc/cudaFree impose in §5.1.3).
   void SynchronizeDevice(CompletionCb done);
@@ -121,14 +130,25 @@ class Device {
   void set_pcie_priority_scheduling(bool enabled) { pcie_priority_ = enabled; }
   bool pcie_priority_scheduling() const { return pcie_priority_; }
 
+  // Multi-GPU plumbing (src/interconnect): routes the wire time of every
+  // host<->device copy chunk through a shared link fabric, where it contends
+  // with peer-to-peer and collective traffic, instead of the private
+  // fixed-bandwidth pipe of spec().pcie_gbps. `gpu_index` is this device's
+  // id in the fabric's topology. Copy queueing, stream ordering, chunking
+  // and priority selection are unaffected. Device-to-device copies stay on
+  // the internal path (they never cross the host fabric).
+  void AttachHostLink(HostLinkModel* host_link, int gpu_index);
+  int gpu_index() const { return gpu_index_; }
+
  private:
   struct Op {
-    enum class Type : std::uint8_t { kKernel, kMemcpy, kMemset, kEvent };
+    enum class Type : std::uint8_t { kKernel, kMemcpy, kMemset, kEvent, kExternal };
     Type type = Type::kKernel;
     KernelDesc kernel;            // kKernel
     std::size_t bytes = 0;        // kMemcpy / kMemset
     MemcpyKind memcpy_kind = MemcpyKind::kHostToDevice;
     GpuEvent* event = nullptr;    // kEvent
+    ExternalBody external;        // kExternal
     CompletionCb done;
     std::uint64_t seq = 0;        // global submission order (determinism)
   };
@@ -160,6 +180,7 @@ class Device {
     std::size_t bytes = 0;            // bytes left to transfer
     bool started = false;             // some chunk already transferred
     int priority = kPriorityDefault;  // stream priority at enqueue time
+    MemcpyKind kind = MemcpyKind::kHostToDevice;
     std::uint64_t seq = 0;
     CompletionCb done;
   };
@@ -208,6 +229,8 @@ class Device {
   bool copy_active_ = false;
   bool pcie_priority_ = false;
   EventHandle copy_event_;
+  HostLinkModel* host_link_ = nullptr;  // optional shared link fabric
+  int gpu_index_ = 0;                   // this device's id in the fabric
 
   std::vector<CompletionCb> sync_waiters_;
 

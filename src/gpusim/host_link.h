@@ -1,0 +1,35 @@
+// Host-link abstraction for the device copy engine.
+//
+// By default a Device models its host interconnect as a private point-to-point
+// PCIe pipe at `spec.pcie_gbps` (one transfer at a time, no outside traffic).
+// On a multi-GPU node that is wrong: every host<->device copy crosses a link
+// fabric shared with peer-to-peer transfers and collective traffic. A Device
+// attached to a HostLinkModel (see src/interconnect/fabric.h) delegates the
+// wire time of each host<->device chunk to the fabric, so copies contend for
+// link bandwidth with everything else on the node. Queueing, stream ordering,
+// chunking and priority selection stay inside the copy engine; only the
+// transfer itself moves to the fabric.
+#ifndef SRC_GPUSIM_HOST_LINK_H_
+#define SRC_GPUSIM_HOST_LINK_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace orion {
+namespace gpusim {
+
+class HostLinkModel {
+ public:
+  virtual ~HostLinkModel() = default;
+
+  // Carries `bytes` between host memory and GPU `gpu`'s HBM. `done` fires
+  // (via a simulator event) when the payload, including link latency, has
+  // fully crossed the fabric. `to_device` selects the H2D direction.
+  virtual void StartHostCopy(int gpu, std::size_t bytes, bool to_device,
+                             std::function<void()> done) = 0;
+};
+
+}  // namespace gpusim
+}  // namespace orion
+
+#endif  // SRC_GPUSIM_HOST_LINK_H_

@@ -1,0 +1,339 @@
+#include "src/harness/multi_gpu.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/collective/collective.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/interconnect/fabric.h"
+#include "src/runtime/gpu_runtime.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace harness {
+namespace {
+
+// Executes the DDP job: lockstep data-parallel iterations across the ring's
+// devices, paced kernel submission, bucketed all-reduce overlapped with the
+// backward pass, optimizer update after the last bucket.
+class DdpRun {
+ public:
+  DdpRun(Simulator* sim, const workloads::DdpIterationPlan& plan,
+         std::vector<gpusim::Device*> devices, std::vector<gpusim::StreamId> compute_streams,
+         collective::CollectiveEngine* engine, std::vector<int> ring, int iterations,
+         DurationUs launch_overhead_us, bool* finished)
+      : sim_(sim),
+        plan_(plan),
+        devices_(std::move(devices)),
+        compute_streams_(std::move(compute_streams)),
+        engine_(engine),
+        ring_(std::move(ring)),
+        iterations_(iterations),
+        launch_overhead_us_(launch_overhead_us),
+        finished_(finished) {
+    ORION_CHECK(devices_.size() == ring_.size());
+    ORION_CHECK(iterations_ >= 1);
+  }
+
+  void Start() {
+    started_at_ = sim_->now();
+    StartIteration();
+  }
+
+  std::size_t iterations_done() const { return iterations_done_; }
+  TimeUs started_at() const { return started_at_; }
+  TimeUs finished_at() const { return finished_at_; }
+  const LatencyRecorder& iteration_us() const { return iteration_us_; }
+  const LatencyRecorder& allreduce_us() const { return allreduce_us_; }
+
+ private:
+  struct GpuState {
+    std::size_t next_compute = 0;
+    std::size_t compute_done = 0;
+    std::size_t update_done = 0;
+    DurationUs backward_done_us = 0.0;  // alone-time of completed bwd kernels
+  };
+
+  std::size_t NumGpus() const { return devices_.size(); }
+
+  void StartIteration() {
+    gpus_.assign(NumGpus(), GpuState{});
+    next_bucket_ = 0;
+    buckets_done_ = 0;
+    compute_finished_gpus_ = 0;
+    update_finished_gpus_ = 0;
+    update_started_ = false;
+    iteration_start_ = sim_->now();
+    for (std::size_t slot = 0; slot < NumGpus(); ++slot) {
+      PumpCompute(slot);
+    }
+  }
+
+  // Paced submission: the host thread launches asynchronously, one kernel
+  // per launch_overhead_us, running ahead of the device (streams queue).
+  void PumpCompute(std::size_t slot) {
+    GpuState& state = gpus_[slot];
+    if (state.next_compute >= plan_.compute_kernels.size()) {
+      return;
+    }
+    const gpusim::KernelDesc& kernel = plan_.compute_kernels[state.next_compute++];
+    devices_[slot]->LaunchKernel(compute_streams_[slot], kernel,
+                                 [this, slot]() { OnComputeDone(slot); });
+    if (state.next_compute < plan_.compute_kernels.size()) {
+      sim_->ScheduleAfter(launch_overhead_us_, [this, slot]() { PumpCompute(slot); });
+    }
+  }
+
+  void OnComputeDone(std::size_t slot) {
+    GpuState& state = gpus_[slot];
+    // Stream FIFO order: completion k is compute_kernels[k].
+    const gpusim::KernelDesc& kernel = plan_.compute_kernels[state.compute_done];
+    if (kernel.phase == gpusim::KernelPhase::kBackward) {
+      state.backward_done_us += kernel.duration_us;
+    }
+    ++state.compute_done;
+    MaybeIssueBuckets();
+    if (state.compute_done == plan_.compute_kernels.size()) {
+      ++compute_finished_gpus_;
+      MaybeStartUpdate();
+    }
+  }
+
+  // Issues every bucket whose gradients exist on ALL GPUs (in lockstep
+  // data-parallelism the GPUs progress together, but the all-GPU check keeps
+  // the gate correct if their speeds ever diverge).
+  void MaybeIssueBuckets() {
+    while (next_bucket_ < plan_.buckets.size()) {
+      double min_fraction = 1.0;
+      for (const GpuState& state : gpus_) {
+        const double fraction = plan_.backward_us > 0.0
+                                    ? state.backward_done_us / plan_.backward_us
+                                    : 1.0;
+        min_fraction = std::min(min_fraction, fraction);
+      }
+      const workloads::GradientBucket& bucket = plan_.buckets[next_bucket_];
+      if (min_fraction + 1e-9 < bucket.ready_fraction) {
+        return;
+      }
+      ++next_bucket_;
+      const TimeUs issued = sim_->now();
+      engine_->AllReduce(ring_, bucket.bytes, [this, issued]() {
+        allreduce_us_.Add(sim_->now() - issued);
+        ++buckets_done_;
+        MaybeStartUpdate();
+      });
+    }
+  }
+
+  void MaybeStartUpdate() {
+    if (update_started_ || compute_finished_gpus_ < NumGpus() ||
+        buckets_done_ < plan_.buckets.size()) {
+      return;
+    }
+    update_started_ = true;
+    if (plan_.update_kernels.empty()) {
+      FinishIteration();
+      return;
+    }
+    for (std::size_t slot = 0; slot < NumGpus(); ++slot) {
+      PumpUpdate(slot, 0);
+    }
+  }
+
+  void PumpUpdate(std::size_t slot, std::size_t index) {
+    const gpusim::KernelDesc& kernel = plan_.update_kernels[index];
+    devices_[slot]->LaunchKernel(compute_streams_[slot], kernel,
+                                 [this, slot]() { OnUpdateDone(slot); });
+    if (index + 1 < plan_.update_kernels.size()) {
+      sim_->ScheduleAfter(launch_overhead_us_,
+                          [this, slot, index]() { PumpUpdate(slot, index + 1); });
+    }
+  }
+
+  void OnUpdateDone(std::size_t slot) {
+    GpuState& state = gpus_[slot];
+    ++state.update_done;
+    if (state.update_done < plan_.update_kernels.size()) {
+      return;
+    }
+    ++update_finished_gpus_;
+    if (update_finished_gpus_ == NumGpus()) {
+      FinishIteration();
+    }
+  }
+
+  void FinishIteration() {
+    iteration_us_.Add(sim_->now() - iteration_start_);
+    ++iterations_done_;
+    if (iterations_done_ < static_cast<std::size_t>(iterations_)) {
+      StartIteration();
+      return;
+    }
+    finished_at_ = sim_->now();
+    *finished_ = true;  // releases the bandwidth hog
+  }
+
+  Simulator* sim_;
+  const workloads::DdpIterationPlan& plan_;
+  std::vector<gpusim::Device*> devices_;
+  std::vector<gpusim::StreamId> compute_streams_;
+  collective::CollectiveEngine* engine_;
+  std::vector<int> ring_;
+  int iterations_;
+  DurationUs launch_overhead_us_;
+  bool* finished_;
+
+  std::vector<GpuState> gpus_;
+  std::size_t next_bucket_ = 0;
+  std::size_t buckets_done_ = 0;
+  std::size_t compute_finished_gpus_ = 0;
+  std::size_t update_finished_gpus_ = 0;
+  bool update_started_ = false;
+  TimeUs iteration_start_ = 0.0;
+
+  TimeUs started_at_ = 0.0;
+  TimeUs finished_at_ = 0.0;
+  std::size_t iterations_done_ = 0;
+  LatencyRecorder iteration_us_;
+  LatencyRecorder allreduce_us_;
+};
+
+// Closed-loop H2D copy client: keeps one GPU's host link saturated until the
+// DDP job finishes (checked between copies, so the last copy drains and the
+// simulation goes idle).
+class HogDriver {
+ public:
+  HogDriver(Simulator* sim, gpusim::Device* device, gpusim::StreamId stream,
+            const BandwidthHogConfig& config, Rng rng, const bool* stop)
+      : sim_(sim), device_(device), stream_(stream), config_(config), rng_(rng), stop_(stop) {}
+
+  void Start() { IssueNext(); }
+  std::size_t copies() const { return copies_; }
+
+ private:
+  void IssueNext() {
+    if (*stop_) {
+      return;
+    }
+    device_->EnqueueMemcpy(stream_, config_.copy_bytes, gpusim::MemcpyKind::kHostToDevice,
+                           [this]() {
+                             ++copies_;
+                             ScheduleNext();
+                           });
+  }
+
+  void ScheduleNext() {
+    if (*stop_) {
+      return;
+    }
+    if (config_.gap_us > 0.0) {
+      // Jittered host-side pause (the only stochastic element of the run).
+      const DurationUs gap = config_.gap_us * rng_.UniformDouble(0.5, 1.5);
+      sim_->ScheduleAfter(gap, [this]() { IssueNext(); });
+    } else {
+      IssueNext();
+    }
+  }
+
+  Simulator* sim_;
+  gpusim::Device* device_;
+  gpusim::StreamId stream_;
+  BandwidthHogConfig config_;
+  Rng rng_;
+  const bool* stop_;
+  std::size_t copies_ = 0;
+};
+
+}  // namespace
+
+MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
+  const int topo_gpus = config.topology.num_gpus();
+  ORION_CHECK(config.iterations >= 1);
+
+  std::vector<int> ddp_gpus = config.ddp_gpus;
+  if (ddp_gpus.empty()) {
+    for (int gpu = 0; gpu < config.ddp.num_gpus; ++gpu) {
+      ddp_gpus.push_back(gpu);
+    }
+  }
+  ORION_CHECK_MSG(static_cast<int>(ddp_gpus.size()) == config.ddp.num_gpus,
+                  "ddp_gpus does not match ddp.num_gpus");
+  for (const int gpu : ddp_gpus) {
+    ORION_CHECK(gpu >= 0 && gpu < topo_gpus);
+  }
+  if (config.hog.has_value()) {
+    ORION_CHECK(config.hog->gpu >= 0 && config.hog->gpu < topo_gpus);
+  }
+
+  Simulator sim;
+  interconnect::Fabric fabric(&sim, config.topology);
+  collective::CollectiveEngine engine(&sim, &fabric);
+
+  // One runtime per topology GPU, all copy engines on the shared fabric.
+  std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
+  for (int gpu = 0; gpu < topo_gpus; ++gpu) {
+    auto rt = std::make_unique<runtime::GpuRuntime>(&sim, config.device);
+    rt->device().AttachHostLink(&fabric, gpu);
+    runtimes.push_back(std::move(rt));
+  }
+
+  const std::vector<int> ring = config.topology.PreferredRing(ddp_gpus);
+  std::vector<gpusim::Device*> devices;
+  std::vector<gpusim::StreamId> compute_streams;
+  for (const int gpu : ring) {
+    gpusim::Device& device = runtimes[static_cast<std::size_t>(gpu)]->device();
+    engine.BindCommStream(gpu, &device, device.CreateStream());
+    compute_streams.push_back(device.CreateStream());
+    devices.push_back(&device);
+  }
+
+  workloads::DdpIterationPlan plan = PlanDdpIteration(config.device, config.ddp);
+  if (!config.overlap_comm && plan.buckets.size() > 1) {
+    // Ablation: one monolithic all-reduce after the whole backward pass.
+    plan.buckets = {workloads::GradientBucket{plan.param_bytes, 1.0}};
+  }
+
+  bool finished = false;
+  DdpRun run(&sim, plan, std::move(devices), std::move(compute_streams), &engine, ring,
+             config.iterations, config.launch_overhead_us, &finished);
+
+  std::unique_ptr<HogDriver> hog;
+  if (config.hog.has_value()) {
+    gpusim::Device& device = runtimes[static_cast<std::size_t>(config.hog->gpu)]->device();
+    hog = std::make_unique<HogDriver>(&sim, &device, device.CreateStream(), *config.hog,
+                                      Rng(config.seed).Fork(1), &finished);
+  }
+
+  run.Start();
+  if (hog != nullptr) {
+    hog->Start();
+  }
+  sim.RunUntilIdle();
+  ORION_CHECK_MSG(finished, "DDP run did not complete");
+
+  MultiGpuResult result;
+  result.num_gpus = static_cast<int>(ring.size());
+  result.ring = ring;
+  result.iterations = run.iterations_done();
+  result.param_bytes = plan.param_bytes;
+  result.buckets_per_iteration = plan.buckets.size();
+  result.total_us = run.finished_at() - run.started_at();
+  result.iteration_us = run.iteration_us();
+  result.allreduce_us = run.allreduce_us();
+  result.compute_alone_us = plan.forward_backward_us + plan.update_us;
+  result.hog_copies = hog != nullptr ? hog->copies() : 0;
+  for (const interconnect::Link& link : config.topology.links()) {
+    LinkTraffic traffic;
+    traffic.name = link.name;
+    traffic.kind = link.kind;
+    traffic.forward_bytes = fabric.BytesMoved(link.id, true);
+    traffic.backward_bytes = fabric.BytesMoved(link.id, false);
+    result.link_traffic.push_back(std::move(traffic));
+  }
+  return result;
+}
+
+}  // namespace harness
+}  // namespace orion

@@ -1,0 +1,79 @@
+// Multi-GPU experiment harness: DDP training over a link topology.
+//
+// Extends the single-device experiment harness to a node of N simulated
+// GPUs: one GpuRuntime per topology GPU, all sharing one interconnect Fabric
+// (every device's copy engine is attached to it, so host copies contend with
+// collective traffic), and a CollectiveEngine issuing ring collectives on
+// per-GPU communication streams. The DDP job runs lockstep data-parallel
+// iterations from a DdpIterationPlan: paced kernel submission per GPU,
+// bucketed gradient all-reduce overlapped with the backward pass, optimizer
+// update gated on the last bucket. An optional bandwidth-hog client streams
+// host->device copies on one GPU for the whole run, the collocated
+// best-effort traffic of the ext_multi_gpu_ddp bench.
+#ifndef SRC_HARNESS_MULTI_GPU_H_
+#define SRC_HARNESS_MULTI_GPU_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/gpusim/device_spec.h"
+#include "src/interconnect/topology.h"
+#include "src/workloads/ddp.h"
+
+namespace orion {
+namespace harness {
+
+// Best-effort client that saturates one GPU's PCIe host link with
+// back-to-back H2D copies (e.g. a data-loading / swapping-heavy job).
+struct BandwidthHogConfig {
+  int gpu = 0;
+  std::size_t copy_bytes = std::size_t{32} << 20;
+  DurationUs gap_us = 0.0;  // host-side pause between copies (0 = none)
+};
+
+struct MultiGpuConfig {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
+  interconnect::NodeTopology topology = interconnect::NodeTopology::PcieOnly(1);
+  workloads::DdpConfig ddp;
+  // GPUs running the DDP job; empty = GPUs [0, ddp.num_gpus). Ring order is
+  // chosen by topology.PreferredRing (NVLink-adjacent pairs first).
+  std::vector<int> ddp_gpus;
+  int iterations = 10;
+  DurationUs launch_overhead_us = 6.0;  // host cost per kernel launch
+  std::uint64_t seed = 42;
+  std::optional<BandwidthHogConfig> hog;
+  // false: one un-bucketed all-reduce after the backward pass (no
+  // comm/compute overlap) — the ablation arm of the DDP bench.
+  bool overlap_comm = true;
+};
+
+struct LinkTraffic {
+  std::string name;
+  interconnect::LinkKind kind = interconnect::LinkKind::kPcie;
+  double forward_bytes = 0.0;   // node_a -> node_b
+  double backward_bytes = 0.0;  // node_b -> node_a
+};
+
+struct MultiGpuResult {
+  int num_gpus = 0;
+  std::vector<int> ring;  // ring order actually used
+  std::size_t iterations = 0;
+  std::size_t param_bytes = 0;
+  std::size_t buckets_per_iteration = 0;
+  DurationUs total_us = 0.0;          // start of iteration 0 to last update
+  LatencyRecorder iteration_us;       // per-iteration wall time
+  LatencyRecorder allreduce_us;       // per-bucket latency (issue -> done)
+  DurationUs compute_alone_us = 0.0;  // fwd+bwd+update alone time, one GPU
+  std::size_t hog_copies = 0;
+  std::vector<LinkTraffic> link_traffic;
+};
+
+MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config);
+
+}  // namespace harness
+}  // namespace orion
+
+#endif  // SRC_HARNESS_MULTI_GPU_H_

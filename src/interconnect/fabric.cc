@@ -1,0 +1,180 @@
+#include "src/interconnect/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace interconnect {
+namespace {
+
+// Bytes below this threshold count as delivered; absorbs floating-point
+// residue from rate integration (same role as the Device's epsilon).
+constexpr double kRemainingEpsilon = 1e-6;
+
+}  // namespace
+
+Fabric::Fabric(Simulator* sim, NodeTopology topology)
+    : sim_(sim), topology_(std::move(topology)) {
+  ORION_CHECK(sim_ != nullptr);
+  ORION_CHECK(topology_.num_gpus() >= 1);
+  bytes_moved_.assign(topology_.links().size() * 2, 0.0);
+  last_update_ = sim_->now();
+}
+
+void Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback done) {
+  Transfer transfer;
+  transfer.seq = next_seq_++;
+  transfer.route = topology_.Route(src, dst);
+  transfer.remaining = static_cast<double>(bytes);
+  transfer.done = std::move(done);
+
+  DurationUs latency = 0.0;
+  for (const Hop& hop : transfer.route) {
+    latency += topology_.link(hop.link).latency_us;
+  }
+  if (latency > 0.0) {
+    ++in_setup_;
+    sim_->ScheduleAfter(latency, [this, transfer = std::move(transfer)]() mutable {
+      --in_setup_;
+      Activate(std::move(transfer));
+    });
+  } else {
+    Activate(std::move(transfer));
+  }
+}
+
+void Fabric::StartHostCopy(int gpu, std::size_t bytes, bool to_device,
+                           std::function<void()> done) {
+  if (to_device) {
+    StartTransfer(kHostNode, gpu, bytes, std::move(done));
+  } else {
+    StartTransfer(gpu, kHostNode, bytes, std::move(done));
+  }
+}
+
+void Fabric::Activate(Transfer transfer) {
+  // Integrate the open interval at the old membership before rates change.
+  AdvanceTo(sim_->now());
+  transfers_.push_back(std::move(transfer));
+  Update();
+}
+
+int Fabric::ActiveTransfers() const {
+  return static_cast<int>(transfers_.size()) + in_setup_;
+}
+
+int Fabric::ActiveOnLink(LinkId link, bool forward) const {
+  int count = 0;
+  for (const Transfer& transfer : transfers_) {
+    for (const Hop& hop : transfer.route) {
+      if (hop.link == link && hop.forward == forward) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double Fabric::BytesMoved(LinkId link, bool forward) const {
+  const std::size_t index = DirIndex(Hop{link, forward});
+  ORION_CHECK(index < bytes_moved_.size());
+  return bytes_moved_[index];
+}
+
+std::vector<double> Fabric::ComputeRates() const {
+  // Equal split per link direction: count the transfers on each, then take
+  // the minimum share along each transfer's route.
+  std::vector<int> counts(bytes_moved_.size(), 0);
+  for (const Transfer& transfer : transfers_) {
+    for (const Hop& hop : transfer.route) {
+      ++counts[DirIndex(hop)];
+    }
+  }
+  std::vector<double> rates;
+  rates.reserve(transfers_.size());
+  for (const Transfer& transfer : transfers_) {
+    double rate = std::numeric_limits<double>::infinity();
+    for (const Hop& hop : transfer.route) {
+      // gbps GB/s == gbps * 1e3 bytes/µs (same convention as DeviceSpec).
+      const double share =
+          topology_.link(hop.link).gbps * 1e3 / counts[DirIndex(hop)];
+      rate = std::min(rate, share);
+    }
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+void Fabric::AdvanceTo(TimeUs now) {
+  const DurationUs dt = now - last_update_;
+  if (dt <= 0.0) {
+    last_update_ = now;
+    return;
+  }
+  const std::vector<double> rates = ComputeRates();
+  std::size_t i = 0;
+  for (Transfer& transfer : transfers_) {
+    const double moved = std::min(transfer.remaining, rates[i++] * dt);
+    transfer.remaining -= moved;
+    for (const Hop& hop : transfer.route) {
+      bytes_moved_[DirIndex(hop)] += moved;
+    }
+  }
+  last_update_ = now;
+}
+
+void Fabric::Update() {
+  AdvanceTo(sim_->now());
+
+  // Retire delivered transfers. A transfer also retires when its residue
+  // would complete within one representable double step of `now`: scheduling
+  // that event would not advance the clock (now + dt == now) and the
+  // simulation would spin. The residual bytes still accrue to the link
+  // counters, so byte accounting stays exact. Callbacks go through
+  // zero-delay events so they may freely start new transfers without
+  // re-entering the fabric.
+  const double min_dt =
+      1e-9 + 8.0 * std::numeric_limits<double>::epsilon() * std::max(1.0, sim_->now());
+  {
+    const std::vector<double> rates = ComputeRates();
+    std::size_t i = 0;
+    for (auto it = transfers_.begin(); it != transfers_.end();) {
+      const double threshold = std::max(kRemainingEpsilon, rates[i++] * min_dt);
+      if (it->remaining <= threshold) {
+        for (const Hop& hop : it->route) {
+          bytes_moved_[DirIndex(hop)] += it->remaining;
+        }
+        Callback done = std::move(it->done);
+        it = transfers_.erase(it);
+        ++transfers_completed_;
+        if (done) {
+          sim_->ScheduleAfter(0.0, std::move(done));
+        }
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  sim_->Cancel(completion_event_);
+  completion_event_ = EventHandle();
+  DurationUs next_completion = std::numeric_limits<DurationUs>::infinity();
+  const std::vector<double> rates = ComputeRates();
+  std::size_t i = 0;
+  for (const Transfer& transfer : transfers_) {
+    const double rate = rates[i++];
+    if (rate > 0.0) {
+      next_completion = std::min(next_completion, transfer.remaining / rate);
+    }
+  }
+  if (std::isfinite(next_completion)) {
+    completion_event_ = sim_->ScheduleAfter(next_completion, [this]() { Update(); });
+  }
+}
+
+}  // namespace interconnect
+}  // namespace orion

@@ -1,0 +1,104 @@
+// Discrete-event transfer engine over a NodeTopology.
+//
+// Fluid-flow model of concurrent link transfers, the interconnect analogue of
+// the Device's SM model: every transfer in flight progresses simultaneously,
+// and each link direction divides its bandwidth EQUALLY among the transfers
+// currently crossing it (PCIe and NVLink arbitrate round-robin at packet
+// granularity, which a fluid equal split approximates). A transfer's rate is
+// the minimum share along its route; when membership on any link changes, all
+// rates are recomputed and the next completion event is rescheduled, so
+// completion times are exact under the model and bit-deterministic.
+//
+// Deliberately NOT modeled: work-conserving redistribution of a bottlenecked
+// transfer's unused share on its other links (max-min fairness across the
+// fabric), per-message protocol overheads beyond a fixed per-transfer setup
+// latency, and root-complex bandwidth limits (each PCIe link is the
+// bottleneck, matching hosts whose root ports are not oversubscribed).
+//
+// Fabric implements gpusim::HostLinkModel: a Device attached via
+// Device::AttachHostLink routes its host<->device copy chunks through the
+// fabric's PCIe links, where they contend with peer-to-peer and collective
+// traffic.
+#ifndef SRC_INTERCONNECT_FABRIC_H_
+#define SRC_INTERCONNECT_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/gpusim/host_link.h"
+#include "src/interconnect/topology.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace interconnect {
+
+class Fabric : public gpusim::HostLinkModel {
+ public:
+  using Callback = std::function<void()>;
+
+  Fabric(Simulator* sim, NodeTopology topology);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const NodeTopology& topology() const { return topology_; }
+  Simulator* simulator() { return sim_; }
+
+  // Starts an asynchronous transfer of `bytes` from node `src` to node `dst`
+  // (kHostNode for host memory). `done` fires via a simulator event once the
+  // payload has fully crossed every link of the route. Transfers first spend
+  // the route's summed link latency in a setup phase that consumes no
+  // bandwidth, then stream bytes at the fair-share rate.
+  void StartTransfer(int src, int dst, std::size_t bytes, Callback done);
+
+  // gpusim::HostLinkModel — copy-engine chunks from an attached Device.
+  void StartHostCopy(int gpu, std::size_t bytes, bool to_device,
+                     std::function<void()> done) override;
+
+  // Transfers currently in flight (setup phase included).
+  int ActiveTransfers() const;
+  // Transfers currently streaming on `link` in the given direction.
+  int ActiveOnLink(LinkId link, bool forward) const;
+  // Cumulative payload bytes that have crossed `link` in the given direction
+  // since construction. (A double: bytes accrue fluidly.)
+  double BytesMoved(LinkId link, bool forward) const;
+  std::size_t transfers_completed() const { return transfers_completed_; }
+
+ private:
+  struct Transfer {
+    std::uint64_t seq = 0;
+    std::vector<Hop> route;
+    double remaining = 0.0;  // bytes
+    Callback done;
+  };
+
+  static std::size_t DirIndex(const Hop& hop) {
+    return static_cast<std::size_t>(hop.link) * 2 + (hop.forward ? 1 : 0);
+  }
+
+  // Integrates all in-flight transfers' progress (and the per-link byte
+  // counters) from last_update_ to now at the current rates.
+  void AdvanceTo(TimeUs now);
+  // Per-transfer rate in bytes/µs under equal per-link-direction sharing.
+  std::vector<double> ComputeRates() const;
+  // Retires finished transfers and (re)schedules the next completion event.
+  void Update();
+  void Activate(Transfer transfer);
+
+  Simulator* sim_;
+  NodeTopology topology_;
+  std::list<Transfer> transfers_;  // in flight, streaming phase
+  std::vector<double> bytes_moved_;  // indexed by DirIndex
+  std::uint64_t next_seq_ = 0;
+  TimeUs last_update_ = 0.0;
+  EventHandle completion_event_;
+  int in_setup_ = 0;  // transfers still in their latency phase
+  std::size_t transfers_completed_ = 0;
+};
+
+}  // namespace interconnect
+}  // namespace orion
+
+#endif  // SRC_INTERCONNECT_FABRIC_H_

@@ -1,0 +1,112 @@
+// Intra-node GPU interconnect topology.
+//
+// Models the link fabric of one multi-GPU server: GPUs attached to a shared
+// PCIe root complex (one x16 link per GPU) plus optional direct NVLink
+// connections between GPU pairs. Every link is full duplex — each direction
+// has its own bandwidth, so a send and a receive on the same link do not
+// contend. Transfers route over the fewest links: a direct NVLink when one
+// exists, otherwise up the source's PCIe link and down the destination's
+// (through the root complex, which itself is not a bottleneck here).
+//
+// The topology is pure data: bandwidth sharing and transfer timing live in
+// Fabric (fabric.h); ring construction helpers here are shared by the
+// collective layer and the cluster placement engine.
+#ifndef SRC_INTERCONNECT_TOPOLOGY_H_
+#define SRC_INTERCONNECT_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orion {
+namespace interconnect {
+
+using LinkId = int;
+constexpr LinkId kInvalidLink = -1;
+
+// Node id of the host / PCIe root complex in routes and transfer endpoints.
+constexpr int kHostNode = -1;
+
+enum class LinkKind : std::uint8_t { kPcie, kNvLink };
+
+const char* LinkKindName(LinkKind kind);
+
+struct Link {
+  LinkId id = kInvalidLink;
+  std::string name;
+  LinkKind kind = LinkKind::kPcie;
+  // Endpoints. PCIe links connect the host root complex (node_a == kHostNode)
+  // to one GPU; NVLink links connect two GPUs directly.
+  int node_a = kHostNode;
+  int node_b = 0;
+  double gbps = 0.0;        // per direction (full duplex)
+  double latency_us = 0.0;  // fixed per-transfer setup cost
+};
+
+// One traversal of a link. `forward` means node_a -> node_b.
+struct Hop {
+  LinkId link = kInvalidLink;
+  bool forward = true;
+
+  bool operator==(const Hop&) const = default;
+};
+
+// Default link speeds (GB/s per direction), roughly PCIe 3.0 x16 effective
+// throughput and a 2-brick V100 NVLink pair.
+constexpr double kDefaultPcieGbps = 12.0;
+constexpr double kDefaultNvLinkGbps = 90.0;
+constexpr double kDefaultLinkLatencyUs = 2.0;
+
+class NodeTopology {
+ public:
+  NodeTopology() = default;
+
+  // All GPUs hang off the shared PCIe root; no NVLink (e.g. a cloud
+  // inference box). Peer transfers bounce through the root complex.
+  static NodeTopology PcieOnly(int num_gpus, double pcie_gbps = kDefaultPcieGbps);
+
+  // DGX-style pairing: GPUs (0,1), (2,3), ... get a direct NVLink, everyone
+  // shares the PCIe root for host traffic and cross-pair transfers.
+  static NodeTopology NvLinkPairs(int num_gpus, double nvlink_gbps = kDefaultNvLinkGbps,
+                                  double pcie_gbps = kDefaultPcieGbps);
+
+  // NVSwitch-style all-to-all NVLink (every GPU pair directly connected).
+  static NodeTopology FullNvLink(int num_gpus, double nvlink_gbps = kDefaultNvLinkGbps,
+                                 double pcie_gbps = kDefaultPcieGbps);
+
+  int num_gpus() const { return num_gpus_; }
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(LinkId id) const;
+
+  // The PCIe host link of `gpu`.
+  LinkId PcieLink(int gpu) const;
+  // Direct NVLink between two GPUs, or kInvalidLink.
+  LinkId NvLinkBetween(int gpu_a, int gpu_b) const;
+
+  // Route of a transfer src -> dst; either endpoint may be kHostNode.
+  // GPU pairs use their NVLink when present, otherwise PCIe via the root.
+  std::vector<Hop> Route(int src, int dst) const;
+
+  // Orders `gpus` into a ring that maximises NVLink adjacency (greedy
+  // nearest-neighbour from the lowest id; deterministic). The collective
+  // layer runs rings in this order; placement scores candidate GPU sets by
+  // the result's CrossPcieHops.
+  std::vector<int> PreferredRing(std::vector<int> gpus) const;
+
+  // Number of ring-adjacent GPU pairs that lack a direct NVLink (and would
+  // therefore push collective traffic through the shared PCIe root).
+  int CrossPcieHops(const std::vector<int>& ring) const;
+
+ private:
+  int num_gpus_ = 0;
+  std::vector<Link> links_;
+  std::vector<LinkId> pcie_links_;  // indexed by GPU
+
+  static NodeTopology WithPcieHostLinks(int num_gpus, double pcie_gbps);
+  void AddNvLink(int gpu_a, int gpu_b, double gbps);
+};
+
+}  // namespace interconnect
+}  // namespace orion
+
+#endif  // SRC_INTERCONNECT_TOPOLOGY_H_

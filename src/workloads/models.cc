@@ -247,9 +247,11 @@ std::string WorkloadName(const WorkloadSpec& spec) {
   return name;
 }
 
-std::vector<gpusim::KernelDesc> BuildKernels(const gpusim::DeviceSpec& device,
-                                             const WorkloadSpec& spec) {
-  GraphBuilder g(spec.task);
+namespace {
+
+// Expands `spec`'s layer graph into `g`. Shared by kernel building and the
+// parameter/memory estimators (graphs are cheap to rebuild).
+void BuildModelGraph(GraphBuilder& g, const WorkloadSpec& spec) {
   switch (spec.model) {
     case ModelId::kResNet50:
       BuildResNet(g, ResNetConfig{{3, 4, 6, 3}}, spec.batch_size);
@@ -275,13 +277,35 @@ std::vector<gpusim::KernelDesc> BuildKernels(const gpusim::DeviceSpec& device,
       BuildTransformerStack(g, cfg, spec.batch_size);
       break;
     }
-    case ModelId::kLlmDecode: {
-      ORION_CHECK_MSG(spec.task == TaskType::kInference,
-                      "LLM decode is an inference-only workload");
+    case ModelId::kLlmDecode:
       BuildLlmDecode(g, LlmConfig{12, 2048, 16, 512, 8}, spec.batch_size);
       break;
-    }
   }
+}
+
+// Embedding-table parameters the layer graph does not enumerate (vocab *
+// hidden); NLP models hold them on-device alongside the layer weights.
+double EmbeddingParams(const WorkloadSpec& spec) {
+  if (spec.model == ModelId::kBert) {
+    return spec.task == TaskType::kInference ? 30522.0 * 1024 : 30522.0 * 768;
+  }
+  if (spec.model == ModelId::kTransformer) {
+    return 32000.0 * 512;
+  }
+  if (spec.model == ModelId::kLlmDecode) {
+    return 32000.0 * 2048;  // vocab embedding + KV cache ride on this
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<gpusim::KernelDesc> BuildKernels(const gpusim::DeviceSpec& device,
+                                             const WorkloadSpec& spec) {
+  ORION_CHECK_MSG(spec.model != ModelId::kLlmDecode || spec.task == TaskType::kInference,
+                  "LLM decode is an inference-only workload");
+  GraphBuilder g(spec.task);
+  BuildModelGraph(g, spec);
   std::vector<KernelWork> work = g.Finish();
   std::vector<gpusim::KernelDesc> kernels;
   kernels.reserve(work.size());
@@ -332,50 +356,23 @@ std::vector<runtime::Op> BuildRequestOps(const gpusim::DeviceSpec& device,
   return ops;
 }
 
+std::size_t ApproxParameterBytes(const WorkloadSpec& spec) {
+  GraphBuilder counter(spec.task);
+  BuildModelGraph(counter, spec);
+  (void)counter.Finish();
+  return static_cast<std::size_t>((counter.total_params() + EmbeddingParams(spec)) * 4.0);
+}
+
 std::size_t ApproxModelStateBytes(const WorkloadSpec& spec) {
   // Rebuild the graph to query parameter/activation totals; graphs are cheap.
   GraphBuilder counter(spec.task);
-  switch (spec.model) {
-    case ModelId::kResNet50:
-      BuildResNet(counter, ResNetConfig{{3, 4, 6, 3}}, spec.batch_size);
-      break;
-    case ModelId::kResNet101:
-      BuildResNet(counter, ResNetConfig{{3, 4, 23, 3}}, spec.batch_size);
-      break;
-    case ModelId::kMobileNetV2:
-      BuildMobileNetV2(counter, spec.batch_size);
-      break;
-    case ModelId::kBert: {
-      const TransformerConfig cfg =
-          spec.task == TaskType::kInference
-              ? TransformerConfig{24, 1024, 16, 128, 4096, 30522}
-              : TransformerConfig{12, 768, 12, 128, 3072, 30522};
-      BuildTransformerStack(counter, cfg, spec.batch_size);
-      break;
-    }
-    case ModelId::kTransformer: {
-      const TransformerConfig cfg{16, 512, 8, 192, 2048, 32000};
-      BuildTransformerStack(counter, cfg, spec.batch_size);
-      break;
-    }
-    case ModelId::kLlmDecode:
-      BuildLlmDecode(counter, LlmConfig{12, 2048, 16, 512, 8}, spec.batch_size);
-      break;
-  }
+  BuildModelGraph(counter, spec);
   (void)counter.Finish();
-  const double params = counter.total_params();
   // Parameters, plus gradient and momentum buffers when training; NLP models
   // additionally hold their embedding tables (vocab * hidden).
-  double embed_params = 0.0;
-  if (spec.model == ModelId::kBert) {
-    embed_params = spec.task == TaskType::kInference ? 30522.0 * 1024 : 30522.0 * 768;
-  } else if (spec.model == ModelId::kTransformer) {
-    embed_params = 32000.0 * 512;
-  } else if (spec.model == ModelId::kLlmDecode) {
-    embed_params = 32000.0 * 2048;  // vocab embedding + KV cache ride on this
-  }
   const double state_copies = spec.task == TaskType::kTraining ? 3.0 : 1.0;
-  const double param_bytes = (params + embed_params) * 4.0 * state_copies;
+  const double param_bytes =
+      (counter.total_params() + EmbeddingParams(spec)) * 4.0 * state_copies;
   // Activations: forward keeps every layer's output alive for backward.
   const double act_scale = spec.task == TaskType::kTraining ? 18.0 : 2.5;
   const double act_bytes = counter.activation_elems() * 4.0 * act_scale;

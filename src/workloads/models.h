@@ -71,6 +71,10 @@ std::vector<runtime::Op> BuildRequestOps(const gpusim::DeviceSpec& device,
 // and the harness's fits-in-memory admission check.
 std::size_t ApproxModelStateBytes(const WorkloadSpec& spec);
 
+// Learnable-parameter bytes alone (fp32, embedding tables included): the
+// gradient volume a data-parallel trainer all-reduces every iteration.
+std::size_t ApproxParameterBytes(const WorkloadSpec& spec);
+
 }  // namespace workloads
 }  // namespace orion
 

@@ -140,6 +140,71 @@ TEST(PlacementTest, DeterministicForSameInput) {
   EXPECT_EQ(a->gpu_jobs, b->gpu_jobs);
 }
 
+// ISSUE: on a 4-GPU node with NVLink pairs, a 2-GPU DDP job lands on a
+// linked pair; only when both pairs are taken does it fall back to a
+// cross-PCIe GPU set.
+TEST(PlacementTest, MultiGpuJobPrefersNvLinkPair) {
+  auto ddp_job = [](const std::string& name) {
+    JobSignature sig = Synthetic(name, 0.5, 0.3, 0.6, 1 << 28);
+    sig.gpus_required = 2;
+    return sig;
+  };
+  PlacementOptions options;
+  options.num_gpus = 4;
+  options.max_jobs_per_gpu = 1;
+  options.topology = interconnect::NodeTopology::NvLinkPairs(4);
+
+  const auto one = PlacementEngine::Place({ddp_job("ddp1")}, options);
+  ASSERT_TRUE(one.has_value());
+  ASSERT_EQ(one->job_gpus.size(), 1u);
+  EXPECT_EQ(one->job_gpus[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(options.topology->CrossPcieHops(
+                options.topology->PreferredRing(one->job_gpus[0])),
+            0);
+
+  const auto two = PlacementEngine::Place({ddp_job("ddp1"), ddp_job("ddp2")}, options);
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(two->job_gpus[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(two->job_gpus[1], (std::vector<int>{2, 3}));
+}
+
+TEST(PlacementTest, MultiGpuJobFallsBackToCrossPcieWhenPairsFull) {
+  // Greedy fill leaves GPUs 1 and 2 without room (two near-capacity
+  // jobs land there after the small hp job anchors GPU 0), so both NVLink
+  // pairs are broken for a later 10 GB-per-GPU DDP job: its only feasible
+  // set is the cross-PCIe {0, 3}.
+  JobSignature ddp = Synthetic("ddp", 0.5, 0.3, 0.6, std::size_t{10} << 30);
+  ddp.gpus_required = 2;
+  const JobSignature anchor = Synthetic("anchor", 0.3, 0.3, 0.5, std::size_t{1} << 30, true);
+  const JobSignature big = Synthetic("big", 0.4, 0.4, 0.5, (std::size_t{15} << 30) + (1 << 29));
+  PlacementOptions options;
+  options.num_gpus = 4;
+  options.topology = interconnect::NodeTopology::NvLinkPairs(4);
+
+  const auto placement = PlacementEngine::Place({anchor, big, big, ddp}, options);
+  ASSERT_TRUE(placement.has_value());
+  // Sanity: the fill really broke both pairs (big jobs on GPUs 1 and 2).
+  EXPECT_EQ(placement->job_gpus[0], (std::vector<int>{0}));
+  EXPECT_EQ(placement->job_gpus[1], (std::vector<int>{1}));
+  EXPECT_EQ(placement->job_gpus[2], (std::vector<int>{2}));
+  const auto& gpus = placement->job_gpus[3];
+  EXPECT_EQ(gpus, (std::vector<int>{0, 3}));
+  EXPECT_GT(options.topology->CrossPcieHops(options.topology->PreferredRing(gpus)), 0);
+}
+
+TEST(PlacementTest, MultiGpuJobCountsAgainstEveryGpu) {
+  JobSignature ddp = Synthetic("ddp", 0.5, 0.3, 0.6, std::size_t{10} << 30);
+  ddp.gpus_required = 2;
+  PlacementOptions options;
+  options.num_gpus = 2;
+  // Memory: a second 10 GB-per-GPU wide job cannot fit anywhere.
+  EXPECT_TRUE(PlacementEngine::Place({ddp}, options).has_value());
+  EXPECT_FALSE(PlacementEngine::Place({ddp, ddp}, options).has_value());
+  // Width beyond the node is infeasible outright.
+  ddp.gpus_required = 3;
+  EXPECT_FALSE(PlacementEngine::Place({ddp}, options).has_value());
+}
+
 TEST(PlacementTest, ScoreMatchesIncrementalAccounting) {
   std::vector<JobSignature> jobs = {
       Synthetic("a", 0.6, 0.2, 0.7, 1 << 20), Synthetic("b", 0.2, 0.6, 0.2, 1 << 20),
