@@ -1,0 +1,199 @@
+// Extension bench: fault tolerance of the collocation under injected faults
+// (src/fault).
+//
+// The paper evaluates Orion on a healthy device with fresh profiles; this
+// bench measures how gracefully the collocation degrades when that
+// assumption breaks. Two arms:
+//
+//   1. Single-GPU collocation (ResNet50 inference hp + two training be
+//      clients) under one fault scenario per fault class — device
+//      degradation, best-effort client crash, client hang with a runaway
+//      kernel, and poisoned profiles — reporting hp p99 and aggregate be
+//      throughput against the fault-free run.
+//   2. 4-GPU DDP training under interconnect faults — a link flap that the
+//      collective engine waits out, and a GPU death that shrinks the ring —
+//      reporting iteration time, detection/re-formation counts, and the
+//      surviving world size.
+//
+// Everything is deterministic: the fault plan lives on the simulated clock
+// and the seeds are fixed, so repeated runs print identical tables.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/harness/multi_gpu.h"
+
+using namespace orion;
+
+namespace {
+
+constexpr DurationUs kWarmup = SecToUs(1.0);
+constexpr DurationUs kWindow = SecToUs(10.0);
+
+harness::ExperimentConfig CollocationConfig() {
+  harness::ExperimentConfig config;
+  config.scheduler = harness::SchedulerKind::kOrion;
+  config.warmup_us = kWarmup;
+  config.duration_us = kWindow;
+  config.clients = {
+      bench::InferenceClient(workloads::ModelId::kResNet50,
+                             harness::ClientConfig::Arrivals::kPoisson,
+                             trace::RequestsPerSecond(workloads::ModelId::kResNet50,
+                                                      trace::CollocationCase::kInfTrainPoisson),
+                             /*high_priority=*/true),
+      bench::TrainingClient(workloads::ModelId::kResNet50, /*high_priority=*/false),
+      bench::TrainingClient(workloads::ModelId::kMobileNetV2, /*high_priority=*/false),
+  };
+  return config;
+}
+
+double BeThroughput(const harness::ExperimentResult& result) {
+  double total = 0.0;
+  for (const auto& client : result.clients) {
+    if (!client.high_priority) {
+      total += client.throughput_rps;
+    }
+  }
+  return total;
+}
+
+harness::MultiGpuConfig DdpConfig() {
+  harness::MultiGpuConfig config;
+  config.topology = interconnect::NodeTopology::FullNvLink(4);
+  config.ddp.model = workloads::ModelId::kResNet50;
+  config.ddp.num_gpus = 4;
+  config.ddp.global_batch_size = 32;
+  config.iterations = 8;
+  config.collective.step_timeout_us = 200.0;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension (fault tolerance)",
+                     "graceful degradation under injected faults");
+
+  // --- Arm 1: single-GPU collocation, one scenario per fault class. ---
+  std::cout << "ResNet50 inference (hp, Poisson) + ResNet50/MobileNetV2 training (be),\n"
+            << "Orion, " << UsToSec(kWindow) << " s window. Faults injected mid-window:\n\n";
+
+  struct Scenario {
+    const char* name;
+    harness::ExperimentConfig config;
+  };
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"fault-free", CollocationConfig()});
+
+  {
+    Scenario s{"device degrade", CollocationConfig()};
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kDeviceDegrade;
+    e.at_us = SecToUs(5.0);
+    e.gpu = 0;
+    e.sms_lost = 40;       // 80 -> 40 SMs
+    e.membw_factor = 0.7;  // 30% of memory bandwidth gone
+    s.config.fault_plan.events.push_back(e);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"be client crash", CollocationConfig()};
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kClientCrash;
+    e.at_us = SecToUs(5.0);
+    e.client = 1;
+    s.config.fault_plan.events.push_back(e);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"be client hang", CollocationConfig()};
+    s.config.orion.runaway_timeout_factor = 4.0;
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kClientHang;
+    e.at_us = SecToUs(5.0);
+    e.client = 1;
+    e.runaway_us = SecToUs(0.5);  // 500 ms runaway kernel
+    s.config.fault_plan.events.push_back(e);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"profile poison", CollocationConfig()};
+    s.config.orion.conservative_profile_miss = true;
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kProfilePoison;
+    e.at_us = SecToUs(3.0);
+    e.perturb_factor = 1.5;
+    e.drop_fraction = 0.3;
+    e.seed = 7;
+    s.config.fault_plan.events.push_back(e);
+    scenarios.push_back(std::move(s));
+  }
+
+  Table collocation(
+      {"scenario", "hp_p99_ms", "vs_ok", "be_iters_s", "quarantined", "runaway"});
+  double baseline_p99 = 0.0;
+  for (const Scenario& scenario : scenarios) {
+    const harness::ExperimentResult result = harness::RunExperiment(scenario.config);
+    const double p99_ms = UsToMs(result.hp().latency.p99());
+    if (baseline_p99 == 0.0) {
+      baseline_p99 = p99_ms;
+    }
+    collocation.AddRow({scenario.name, Cell(p99_ms, 2), Cell(p99_ms / baseline_p99, 2),
+                        Cell(BeThroughput(result), 2), Cell(result.clients_quarantined),
+                        Cell(result.runaway_quarantines)});
+  }
+  collocation.Print(std::cout);
+  std::cout << "\nCrash/hang quarantine recredits the DUR_THRESHOLD budget, so hp p99\n"
+               "never trails the fault-free run; device degradation is the one fault\n"
+               "that must cost latency (the hardware itself shrank).\n\n";
+
+  // --- Arm 2: DDP training under interconnect faults. ---
+  std::cout << "ResNet50 DDP, 4-GPU full-NVLink node, 8 iterations, collective step\n"
+               "timeout 200 us:\n\n";
+
+  struct DdpScenario {
+    const char* name;
+    harness::MultiGpuConfig config;
+  };
+  std::vector<DdpScenario> ddp_scenarios;
+  ddp_scenarios.push_back({"fault-free", DdpConfig()});
+  {
+    // Mid-backward of iteration 1, where gradient buckets are in flight.
+    // 2.8 ms is inside the engine's give-up patience (200µs × (1+2+4+8) =
+    // 3 ms), so the flap is waited out rather than declared a death.
+    DdpScenario s{"link flap 2.8ms", DdpConfig()};
+    const auto ring = s.config.topology.PreferredRing({0, 1, 2, 3});
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kLinkDown;
+    e.at_us = 25000.0;
+    e.link = s.config.topology.NvLinkBetween(ring[0], ring[1]);
+    e.dir = fault::LinkDir::kBoth;
+    e.duration_us = 2800.0;
+    s.config.fault_plan.events.push_back(e);
+    ddp_scenarios.push_back(std::move(s));
+  }
+  {
+    DdpScenario s{"gpu 3 death", DdpConfig()};
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kGpuDown;
+    e.at_us = 25000.0;  // mid-allreduce: inflight sends are cancelled too
+    e.gpu = 3;
+    s.config.fault_plan.events.push_back(e);
+    ddp_scenarios.push_back(std::move(s));
+  }
+
+  Table ddp({"scenario", "iter_ms", "timeouts", "reformations", "world"});
+  for (const DdpScenario& scenario : ddp_scenarios) {
+    const harness::MultiGpuResult result = harness::RunDdpExperiment(scenario.config);
+    ddp.AddRow({scenario.name,
+                Cell(result.iteration_us.count() > 0 ? UsToMs(result.iteration_us.mean()) : 0.0,
+                     2),
+                Cell(result.step_timeouts), Cell(result.ring_reformations),
+                Cell(result.completed ? result.final_world_size : 0)});
+  }
+  ddp.Print(std::cout);
+  std::cout << "\nA flap is waited out (timeouts, no re-formation); a GPU death re-forms\n"
+               "the ring and training continues at world size 3. A world of 0 would mean\n"
+               "the run stalled — the pre-fault-subsystem behaviour.\n";
+  return 0;
+}

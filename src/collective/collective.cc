@@ -48,17 +48,27 @@ void CollectiveEngine::Broadcast(const std::vector<int>& ring, std::size_t bytes
   Start(CollectiveKind::kBroadcast, ring, bytes, std::move(done));
 }
 
-void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring,
+void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring_in,
                              std::size_t bytes, Callback done) {
-  ORION_CHECK(!ring.empty());
-  const std::set<int> distinct(ring.begin(), ring.end());
-  ORION_CHECK_MSG(distinct.size() == ring.size(), "ring has duplicate GPU ids");
+  ORION_CHECK(!ring_in.empty());
+  const std::set<int> distinct(ring_in.begin(), ring_in.end());
+  ORION_CHECK_MSG(distinct.size() == ring_in.size(), "ring has duplicate GPU ids");
+
+  // GPUs already declared dead never rejoin: every new collective runs on
+  // the survivors (the degraded world size the DDP harness observes).
+  std::vector<int> ring;
+  ring.reserve(ring_in.size());
+  for (int gpu : ring_in) {
+    if (dead_gpus_.count(gpu) == 0) {
+      ring.push_back(gpu);
+    }
+  }
 
   ++collectives_inflight_;
   payload_bytes_total_ += static_cast<double>(bytes);
 
   const int n = static_cast<int>(ring.size());
-  if (n == 1 || bytes == 0) {
+  if (n <= 1 || bytes == 0) {
     sim_->ScheduleAfter(0.0, [this, done = std::move(done)]() mutable {
       ++collectives_completed_;
       --collectives_inflight_;
@@ -71,17 +81,25 @@ void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring,
 
   auto op = std::make_shared<RingOp>();
   op->kind = kind;
-  op->ring = ring;
+  op->ring = std::move(ring);
+  op->payload_bytes = bytes;
   op->done = std::move(done);
+  PlanSteps(op);
+  RunStep(op);
+}
+
+void CollectiveEngine::PlanSteps(const std::shared_ptr<RingOp>& op) {
+  const int n = static_cast<int>(op->ring.size());
+  ORION_CHECK(n >= 2);
   // Payload split N ways; the remainder spreads over the leading chunks so
-  // the chunk sizes sum exactly to `bytes`.
-  const std::size_t base = bytes / static_cast<std::size_t>(n);
-  const std::size_t rem = bytes % static_cast<std::size_t>(n);
-  op->chunk_bytes.resize(static_cast<std::size_t>(n));
+  // the chunk sizes sum exactly to the payload.
+  const std::size_t base = op->payload_bytes / static_cast<std::size_t>(n);
+  const std::size_t rem = op->payload_bytes % static_cast<std::size_t>(n);
+  op->chunk_bytes.assign(static_cast<std::size_t>(n), 0);
   for (std::size_t c = 0; c < op->chunk_bytes.size(); ++c) {
     op->chunk_bytes[c] = base + (c < rem ? 1 : 0);
   }
-  switch (kind) {
+  switch (op->kind) {
     case CollectiveKind::kAllReduce:
       op->total_steps = 2 * (n - 1);
       break;
@@ -94,7 +112,6 @@ void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring,
       op->total_steps = 2 * n - 2;
       break;
   }
-  RunStep(op);
 }
 
 void CollectiveEngine::RunStep(const std::shared_ptr<RingOp>& op) {
@@ -130,12 +147,22 @@ void CollectiveEngine::RunStep(const std::shared_ptr<RingOp>& op) {
   }
   ORION_CHECK(!sends.empty());
 
+  sim_->Cancel(op->timeout_event);
+  op->timeout_event = EventHandle();
+  op->inflight.clear();
   op->pending_in_step = static_cast<int>(sends.size());
+  const std::uint64_t epoch = op->epoch;
   for (const Send& send : sends) {
-    IssueSend(send.src, send.dst, send.bytes, [this, op]() {
+    IssueSend(op, send.src, send.dst, send.bytes, [this, op, epoch]() {
+      if (op->epoch != epoch) {
+        return;  // completion from an abandoned (re-formed) attempt
+      }
       if (--op->pending_in_step > 0) {
         return;
       }
+      sim_->Cancel(op->timeout_event);
+      op->timeout_event = EventHandle();
+      op->timeouts = 0;
       ++op->step;
       if (op->step == op->total_steps) {
         FinishCollective(op);
@@ -144,9 +171,70 @@ void CollectiveEngine::RunStep(const std::shared_ptr<RingOp>& op) {
       }
     });
   }
+  ArmTimeout(op);
+}
+
+void CollectiveEngine::ArmTimeout(const std::shared_ptr<RingOp>& op) {
+  if (options_.step_timeout_us <= 0.0) {
+    return;
+  }
+  DurationUs timeout = options_.step_timeout_us;
+  for (int i = 0; i < op->timeouts; ++i) {
+    timeout *= options_.timeout_growth;
+  }
+  op->timeout_event = sim_->ScheduleAfter(timeout, [this, op]() { OnStepTimeout(op); });
+}
+
+void CollectiveEngine::OnStepTimeout(const std::shared_ptr<RingOp>& op) {
+  ++step_timeouts_;
+  std::vector<int> alive;
+  std::vector<int> dead;
+  for (int gpu : op->ring) {
+    (fabric_->GpuAlive(gpu) ? alive : dead).push_back(gpu);
+  }
+  if (dead.empty()) {
+    // Every member is reachable: a flap or congestion. Wait it out with
+    // growing patience; after max_step_timeouts stop re-arming and let the
+    // fabric deliver whenever it heals (bounds timer churn on a permanent
+    // stall the plan never repairs).
+    ++op->timeouts;
+    if (op->timeouts >= options_.max_step_timeouts) {
+      ++timeout_giveups_;
+      return;
+    }
+    ArmTimeout(op);
+    return;
+  }
+
+  // A member fell off the fabric: abandon this attempt and restart from
+  // step 0 on the surviving ring. The epoch bump turns every outstanding
+  // completion and queued comm-stream send of the old attempt into a no-op;
+  // cancelling the in-flight transfers releases the comm streams they block.
+  // (For a broadcast whose root died, the surviving front becomes the root.)
+  dead_gpus_.insert(dead.begin(), dead.end());
+  ++op->epoch;
+  for (interconnect::TransferId id : op->inflight) {
+    fabric_->CancelTransfer(id);
+  }
+  op->inflight.clear();
+  ++reformations_;
+  op->ring = std::move(alive);
+  op->step = 0;
+  op->timeouts = 0;
+  if (reform_listener_) {
+    reform_listener_(op->ring);
+  }
+  if (op->ring.size() <= 1) {
+    FinishCollective(op);  // a world of one has nothing left to exchange
+    return;
+  }
+  PlanSteps(op);
+  RunStep(op);
 }
 
 void CollectiveEngine::FinishCollective(const std::shared_ptr<RingOp>& op) {
+  sim_->Cancel(op->timeout_event);
+  op->timeout_event = EventHandle();
   ++collectives_completed_;
   --collectives_inflight_;
   if (op->done) {
@@ -155,21 +243,30 @@ void CollectiveEngine::FinishCollective(const std::shared_ptr<RingOp>& op) {
   }
 }
 
-void CollectiveEngine::IssueSend(int src, int dst, std::size_t bytes, Callback done) {
+void CollectiveEngine::IssueSend(const std::shared_ptr<RingOp>& op, int src, int dst,
+                                 std::size_t bytes, Callback done) {
+  const std::uint64_t epoch = op->epoch;
   const auto channel = channels_.find(src);
   if (channel != channels_.end()) {
     // Bound GPUs issue through their comm stream: the send occupies the
-    // stream until the wire transfer completes, FIFO with any other comm
+    // stream until the wire transfer completes, FIFO with other comm
     // ops, and is visible to StreamIdle / SynchronizeDevice.
     channel->second.device->EnqueueExternal(
         channel->second.stream,
-        [this, src, dst, bytes](gpusim::Device::CompletionCb on_wire_done) {
-          fabric_->StartTransfer(src, dst, bytes, std::move(on_wire_done));
+        [this, op, epoch, src, dst, bytes](gpusim::Device::CompletionCb on_wire_done) {
+          if (op->epoch != epoch) {
+            // The ring re-formed while this send sat queued behind other
+            // comm traffic: skip the wire, just release the stream.
+            sim_->ScheduleAfter(0.0, std::move(on_wire_done));
+            return;
+          }
+          op->inflight.push_back(
+              fabric_->StartTransfer(src, dst, bytes, std::move(on_wire_done)));
         },
         std::move(done));
     return;
   }
-  fabric_->StartTransfer(src, dst, bytes, std::move(done));
+  op->inflight.push_back(fabric_->StartTransfer(src, dst, bytes, std::move(done)));
 }
 
 }  // namespace collective

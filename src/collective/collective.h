@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/common/time_types.h"
@@ -44,6 +45,23 @@ enum class CollectiveKind : std::uint8_t { kAllReduce, kAllGather, kBroadcast };
 
 const char* CollectiveKindName(CollectiveKind kind);
 
+// Fault-detection policy (src/fault). A ring step that does not complete
+// within the timeout is inspected: if every ring member is still alive on the
+// fabric the stall is treated as a flap/congestion and waited out with
+// exponentially growing patience (NCCL-style "communicator is slow, not
+// dead"); if a member fell off the fabric, its in-flight sends are cancelled
+// and the collective restarts from step 0 on the surviving ring. The default
+// timeout of 0 disables detection entirely — collectives then stall forever
+// on a dead link, the pre-fault-subsystem behaviour.
+struct CollectiveOptions {
+  DurationUs step_timeout_us = 0.0;  // 0 = detection off
+  double timeout_growth = 2.0;       // patience multiplier per consecutive timeout
+  // After this many consecutive timeouts with all members alive, stop
+  // re-arming and wait for the fabric (bounds timer events on a stall the
+  // plan never heals).
+  int max_step_timeouts = 4;
+};
+
 class CollectiveEngine {
  public:
   using Callback = std::function<void()>;
@@ -55,6 +73,15 @@ class CollectiveEngine {
   // Routes GPU `gpu`'s collective sends through `stream` on `device` (an
   // external op per send). Unbound GPUs issue directly on the fabric.
   void BindCommStream(int gpu, gpusim::Device* device, gpusim::StreamId stream);
+
+  // Fault-detection policy; set before starting collectives.
+  void set_options(const CollectiveOptions& options) { options_ = options; }
+  const CollectiveOptions& options() const { return options_; }
+  // Invoked after each ring re-formation with the surviving ring (fires
+  // before the restarted collective issues any sends, so listeners can
+  // snapshot fabric byte counters).
+  using ReformListener = std::function<void(const std::vector<int>& new_ring)>;
+  void set_reform_listener(ReformListener listener) { reform_listener_ = std::move(listener); }
 
   // `ring` lists distinct GPU ids in ring order (use
   // NodeTopology::PreferredRing to maximise NVLink adjacency). `bytes` is
@@ -70,6 +97,16 @@ class CollectiveEngine {
   std::size_t collectives_inflight() const { return collectives_inflight_; }
   double payload_bytes_total() const { return payload_bytes_total_; }
 
+  // --- Fault statistics. ---
+  // Ring restarts after a member death.
+  std::size_t reformations() const { return reformations_; }
+  // Step timeouts that fired (flap waits and death detections both count).
+  std::size_t step_timeouts() const { return step_timeouts_; }
+  // Stalls where re-arming stopped after max_step_timeouts.
+  std::size_t timeout_giveups() const { return timeout_giveups_; }
+  // GPUs declared dead; excluded from every subsequently started collective.
+  const std::set<int>& dead_gpus() const { return dead_gpus_; }
+
  private:
   struct CommChannel {
     gpusim::Device* device = nullptr;
@@ -82,9 +119,18 @@ class CollectiveEngine {
     // Chunk sizes by chunk index (payload split N ways, remainder spread
     // over the leading chunks so the sizes sum exactly to the payload).
     std::vector<std::size_t> chunk_bytes;
+    std::size_t payload_bytes = 0;  // original payload (re-chunked on restart)
     int step = 0;
     int total_steps = 0;
     int pending_in_step = 0;
+    // Bumped on ring re-formation: completions and queued comm-stream sends
+    // from the abandoned attempt see a stale epoch and become no-ops.
+    std::uint64_t epoch = 0;
+    int timeouts = 0;  // consecutive timeouts on the current step
+    // Fabric ids of this step's sends that reached the wire (cancelled on
+    // re-formation so stalled bytes do not block comm streams forever).
+    std::vector<interconnect::TransferId> inflight;
+    EventHandle timeout_event;
     Callback done;
   };
 
@@ -92,14 +138,28 @@ class CollectiveEngine {
              Callback done);
   void RunStep(const std::shared_ptr<RingOp>& op);
   void FinishCollective(const std::shared_ptr<RingOp>& op);
-  // Issues one GPU-to-GPU send, through the comm stream when bound.
-  void IssueSend(int src, int dst, std::size_t bytes, Callback done);
+  // Issues one GPU-to-GPU send, through the comm stream when bound. The send
+  // is tagged with the op's current epoch: if the ring re-forms before the
+  // send starts streaming, it is skipped (queued sends) or cancelled
+  // (in-flight sends) instead of running for the abandoned attempt.
+  void IssueSend(const std::shared_ptr<RingOp>& op, int src, int dst,
+                 std::size_t bytes, Callback done);
+  // (Re)computes chunk sizes and the step count for the op's current ring.
+  void PlanSteps(const std::shared_ptr<RingOp>& op);
+  void ArmTimeout(const std::shared_ptr<RingOp>& op);
+  void OnStepTimeout(const std::shared_ptr<RingOp>& op);
 
   Simulator* sim_;
   interconnect::Fabric* fabric_;
   std::map<int, CommChannel> channels_;
+  CollectiveOptions options_;
+  ReformListener reform_listener_;
+  std::set<int> dead_gpus_;
   std::size_t collectives_completed_ = 0;
   std::size_t collectives_inflight_ = 0;
+  std::size_t reformations_ = 0;
+  std::size_t step_timeouts_ = 0;
+  std::size_t timeout_giveups_ = 0;
   double payload_bytes_total_ = 0.0;
 };
 

@@ -30,16 +30,28 @@ struct KernelView {
   int sm_needed = 0;             // peak SM requirement
 };
 
-// Profile lookup with fallback to the descriptor's own numbers.
+// Profile lookup with fallback to the descriptor's own numbers. With
+// `conservative_miss` set, a kernel id absent from a non-null profile is
+// instead classified memory-bound (the stale/poisoned-profile degradation
+// mode, src/fault): an unrecognised best-effort kernel then never collocates
+// with memory-bound hp work, trading throughput for interference safety
+// rather than trusting the descriptor a real interceptor would not see.
 inline KernelView ViewOfKernel(const gpusim::KernelDesc& kernel,
                                const profiler::WorkloadProfile* profile,
-                               const gpusim::DeviceSpec& spec) {
+                               const gpusim::DeviceSpec& spec,
+                               bool conservative_miss = false) {
   KernelView view;
   if (profile != nullptr) {
     if (const profiler::KernelProfile* kp = profile->Find(kernel.kernel_id)) {
       view.duration_us = kp->duration_us;
       view.profile = kp->profile;
       view.sm_needed = kp->sm_needed;
+      return view;
+    }
+    if (conservative_miss) {
+      view.duration_us = kernel.duration_us;
+      view.profile = gpusim::ResourceProfile::kMemoryBound;
+      view.sm_needed = gpusim::SmsNeeded(spec, kernel.geometry);
       return view;
     }
   }
@@ -51,15 +63,16 @@ inline KernelView ViewOfKernel(const gpusim::KernelDesc& kernel,
 
 // Aggregate view of a kernel or graph op.
 inline KernelView ViewOf(const runtime::Op& op, const profiler::WorkloadProfile* profile,
-                         const gpusim::DeviceSpec& spec) {
+                         const gpusim::DeviceSpec& spec,
+                         bool conservative_miss = false) {
   if (op.type == runtime::OpType::kKernelLaunch) {
-    return ViewOfKernel(op.kernel, profile, spec);
+    return ViewOfKernel(op.kernel, profile, spec, conservative_miss);
   }
   KernelView view;
   double compute_time = 0.0;
   double memory_time = 0.0;
   for (const gpusim::KernelDesc& kernel : op.graph_kernels) {
-    const KernelView k = ViewOfKernel(kernel, profile, spec);
+    const KernelView k = ViewOfKernel(kernel, profile, spec, conservative_miss);
     view.duration_us += k.duration_us;
     view.sm_needed = std::max(view.sm_needed, k.sm_needed);
     if (k.profile == gpusim::ResourceProfile::kComputeBound) {

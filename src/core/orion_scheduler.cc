@@ -2,12 +2,42 @@
 
 #include "src/core/op_view.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace orion {
 namespace core {
+
+namespace {
+
+// True when the offline profile vouches for every kernel of the op. Only
+// profile-backed durations count toward the watchdog's patience: a
+// descriptor's claim about a kernel profiling never saw is exactly what a
+// runaway kernel lies about.
+bool ProfileCovers(const runtime::Op& op, const profiler::WorkloadProfile* profile) {
+  if (profile == nullptr) {
+    return false;
+  }
+  if (op.type == runtime::OpType::kKernelLaunch) {
+    return profile->Find(op.kernel.kernel_id) != nullptr;
+  }
+  if (op.type == runtime::OpType::kGraphLaunch) {
+    if (op.graph_kernels.empty()) {
+      return false;
+    }
+    for (const gpusim::KernelDesc& kernel : op.graph_kernels) {
+      if (profile->Find(kernel.kernel_id) == nullptr) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 OrionScheduler::OrionScheduler(OrionOptions options) : options_(options) {}
 
@@ -51,6 +81,11 @@ void OrionScheduler::Enqueue(ClientId client, SchedOp op) {
   }
   for (BeClient& be : be_clients_) {
     if (be.id == client) {
+      if (be.quarantined) {
+        // Straggler op from a crashed/hung process: drop it.
+        ++be_ops_dropped_;
+        return;
+      }
       be.queue.push_back(std::move(op));
       PollBestEffort();
       return;
@@ -59,10 +94,64 @@ void OrionScheduler::Enqueue(ClientId client, SchedOp op) {
   ORION_CHECK_MSG(false, "enqueue from unknown client " << client);
 }
 
+bool OrionScheduler::client_quarantined(ClientId client) const {
+  for (const BeClient& be : be_clients_) {
+    if (be.id == client) {
+      return be.quarantined;
+    }
+  }
+  return false;
+}
+
+void OrionScheduler::OnClientCrash(ClientId client) {
+  for (BeClient& be : be_clients_) {
+    if (be.id != client || be.quarantined) {
+      continue;
+    }
+    be.quarantined = true;
+    be_ops_dropped_ += be.queue.size();
+    be.queue.clear();
+    // Recredit the dead client's expected outstanding time so the
+    // DUR_THRESHOLD throttle does not stay charged for kernels whose
+    // completions will still fire but whose client is gone. Resident kernels
+    // run out on the device — there is no preemption to reclaim them early —
+    // so the be_submitted_ event still resolves and the throttle cannot
+    // deadlock.
+    be_duration_ = std::max(0.0, be_duration_ - be.outstanding_us);
+    be.outstanding_us = 0.0;
+    be.outstanding_trusted_us = 0.0;
+    const std::size_t before = rt_->memory().used();
+    rt_->memory().ReleaseClient(static_cast<std::uint64_t>(client));
+    be_bytes_released_ += before - rt_->memory().used();
+    ++clients_quarantined_;
+    // Surviving best-effort clients may take the recredited budget now.
+    PollBestEffort();
+    return;
+  }
+  // hp crash or unknown client: nothing is buffered for hp (ops submit
+  // immediately), so there is no queue to quarantine here.
+}
+
+void OrionScheduler::OnDeviceDegraded() {
+  const int effective = rt_->device().effective_sms();
+  if (options_.sm_threshold > 0) {
+    // An explicitly tuned threshold scales with the surviving fraction of
+    // the device: it was chosen relative to full capacity.
+    const double fraction =
+        static_cast<double>(effective) / static_cast<double>(rt_->device().spec().num_sms);
+    sm_threshold_ = std::max(
+        1, static_cast<int>(static_cast<double>(options_.sm_threshold) * fraction));
+  } else {
+    sm_threshold_ = effective;
+  }
+}
+
 void OrionScheduler::SubmitHp(SchedOp op) {
   if (IsComputeOp(op.op)) {
     ++hp_outstanding_;
-    hp_running_profiles_.push_back(ViewOf(op.op, hp_profile_, rt_->device().spec()).profile);
+    hp_running_profiles_.push_back(
+        ViewOf(op.op, hp_profile_, rt_->device().spec(), options_.conservative_profile_miss)
+            .profile);
     auto on_complete = std::move(op.on_complete);
     rt_->Submit(op.op, hp_stream_, [this, on_complete = std::move(on_complete)]() {
       ORION_CHECK(hp_outstanding_ > 0);
@@ -88,7 +177,8 @@ bool OrionScheduler::ScheduleBe(const runtime::Op& op, const BeClient& be) {
   if (hp_outstanding_ == 0) {
     return true;
   }
-  const KernelView view = ViewOf(op, be.profile, rt_->device().spec());
+  const KernelView view =
+      ViewOf(op, be.profile, rt_->device().spec(), options_.conservative_profile_miss);
   // ...or when it is small enough and has the opposite resource profile.
   // (For a captured CUDA graph the checks apply to the whole graph — the
   // granularity loss discussed in §7.)
@@ -136,10 +226,13 @@ void OrionScheduler::PollBestEffort() {
       // submitted until the CUDA event says everything drained.
       if (options_.use_dur_throttle && hp_target_latency_ > 0.0 &&
           be_duration_ > options_.dur_threshold_frac * hp_target_latency_) {
-        if (be_submitted_ != nullptr && be_submitted_->done) {
+        // (be_submitted_ can only be null here after a runaway quarantine
+        // reset the throttle; treat that as drained.)
+        if (be_submitted_ == nullptr || be_submitted_->done) {
           be_duration_ = 0.0;
         } else {
           ++be_throttle_skips_;
+          ArmWatchdog();
           continue;
         }
       }
@@ -161,9 +254,24 @@ void OrionScheduler::PollBestEffort() {
 
 void OrionScheduler::SubmitBe(BeClient& be, SchedOp op) {
   ++be_kernels_submitted_;
-  be_duration_ += ViewOf(op.op, be.profile, rt_->device().spec()).duration_us;
+  const double expected =
+      ViewOf(op.op, be.profile, rt_->device().spec(), options_.conservative_profile_miss)
+          .duration_us;
+  const double trusted = ProfileCovers(op.op, be.profile) ? expected : 0.0;
+  be_duration_ += expected;
+  be.outstanding_us += expected;
+  be.outstanding_trusted_us += trusted;
   auto on_complete = std::move(op.on_complete);
-  rt_->Submit(op.op, be.stream, [this, on_complete = std::move(on_complete)]() {
+  rt_->Submit(op.op, be.stream,
+              [this, client = be.id, expected, trusted,
+               on_complete = std::move(on_complete)]() {
+    for (BeClient& b : be_clients_) {
+      if (b.id == client) {
+        b.outstanding_us = std::max(0.0, b.outstanding_us - expected);
+        b.outstanding_trusted_us = std::max(0.0, b.outstanding_trusted_us - trusted);
+        break;
+      }
+    }
     if (on_complete) {
       on_complete();
     }
@@ -173,8 +281,70 @@ void OrionScheduler::SubmitBe(BeClient& be, SchedOp op) {
   // Track progress of the best-effort stream without blocking: record a CUDA
   // event after the kernel and poll it with cudaEventQuery (§5.1.2).
   be_submitted_ = std::make_shared<gpusim::GpuEvent>();
+  be_submitted_client_ = be.id;
   rt_->RecordEvent(be.stream, be_submitted_.get(),
                    [keepalive = be_submitted_]() { (void)keepalive; });
+}
+
+void OrionScheduler::ArmWatchdog() {
+  if (options_.runaway_timeout_factor <= 0.0 || watchdog_armed_ ||
+      be_submitted_ == nullptr || hp_target_latency_ <= 0.0) {
+    return;
+  }
+  watchdog_armed_ = true;
+  const DurationUs budget = options_.dur_threshold_frac * hp_target_latency_;
+  // Patience scales with the profile-backed work the suspect legitimately
+  // has in flight — a big profiled kernel is slow, not hung. Profile-miss
+  // work contributes nothing, so a runaway kernel only ever gets the DUR
+  // budget's worth of grace regardless of its descriptor.
+  DurationUs trusted = 0.0;
+  for (const BeClient& be : be_clients_) {
+    if (be.id == be_submitted_client_) {
+      trusted = be.outstanding_trusted_us;
+      break;
+    }
+  }
+  auto event = be_submitted_;
+  sim_->ScheduleAfter(options_.runaway_timeout_factor * std::max(budget, trusted),
+                      [this, event, budget]() {
+    watchdog_armed_ = false;
+    if (event != be_submitted_ || event->done) {
+      return;  // drained (or the stream moved on): not a hang
+    }
+    // Conviction needs evidence of execution, not just of waiting: a kernel
+    // starved of SMs (behind a resident runaway, or an hp backlog) has
+    // executed ~nothing, and a profiled kernel completes — resolving the
+    // event — before it can execute past its own trusted expectation. Only
+    // untrusted work that has burned through more device time than the
+    // suspect's entire trusted outstanding sum (floored at the DUR budget)
+    // is a runaway. Anything else: re-arm and keep waiting.
+    for (const BeClient& be : be_clients_) {
+      if (be.id != be_submitted_client_) {
+        continue;
+      }
+      const DurationUs executed = rt_->device().StreamExecutedUs(be.stream);
+      if (executed <= std::max(budget, be.outstanding_trusted_us)) {
+        ArmWatchdog();
+        return;
+      }
+      break;
+    }
+    // The best-effort stream sat on the same unresolved event for many DUR
+    // budgets: the last submitter is hung on a runaway kernel. Quarantine it
+    // and reset the throttle so surviving best-effort clients stop waiting
+    // on an event that may never resolve in useful time. The runaway kernel
+    // itself runs out on the device (no preemption).
+    ++runaway_quarantines_;
+    const ClientId owner = be_submitted_client_;
+    be_submitted_ = nullptr;
+    be_submitted_client_ = -1;
+    be_duration_ = 0.0;
+    if (owner >= 0) {
+      OnClientCrash(owner);  // quarantines + polls
+    } else {
+      PollBestEffort();
+    }
+  });
 }
 
 }  // namespace core

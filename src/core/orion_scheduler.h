@@ -47,6 +47,21 @@ struct OrionOptions {
   bool use_profile_check = true;  // opposite compute/memory profile rule
   bool use_sm_check = true;       // SM_THRESHOLD rule
   bool use_dur_throttle = true;   // DUR_THRESHOLD rule
+
+  // --- Graceful degradation (src/fault). ---
+  // Treat kernels missing from a client's profile as memory-bound instead of
+  // trusting their descriptors (stale/poisoned-profile fallback): an
+  // unrecognised best-effort kernel then never collocates with memory-bound
+  // hp work. Off by default — the fault-free profiles are complete.
+  bool conservative_profile_miss = false;
+  // Runaway-kernel watchdog: if the best-effort stream's completion event
+  // stays unresolved for runaway_timeout_factor × DUR_THRESHOLD µs while the
+  // throttle is blocked on it, the client that submitted last is declared
+  // hung and quarantined, and the throttle resets so surviving best-effort
+  // clients are not starved behind the dead event. <= 0 disables (default):
+  // DUR_THRESHOLD sizes the budget so legitimate work drains well inside a
+  // few budgets; the factor should be much larger than 1.
+  double runaway_timeout_factor = 0.0;
 };
 
 class OrionScheduler : public Scheduler {
@@ -57,6 +72,14 @@ class OrionScheduler : public Scheduler {
   void Attach(Simulator* sim, runtime::GpuRuntime* rt,
               std::vector<SchedClientInfo> clients) override;
   void Enqueue(ClientId client, SchedOp op) override;
+  // Drops the crashed client's queued ops, removes its contribution from the
+  // DUR_THRESHOLD accounting, and releases its device memory. Later enqueues
+  // from the client are dropped. Never stalls hp work or surviving be
+  // clients; resident kernels of the dead client run out on the device
+  // (there is no preemption to reclaim them early).
+  void OnClientCrash(ClientId client) override;
+  // Re-resolves SM_THRESHOLD against the shrunken SM pool.
+  void OnDeviceDegraded() override;
 
   const OrionOptions& options() const { return options_; }
   // Effective SM_THRESHOLD after resolution against the device.
@@ -68,12 +91,29 @@ class OrionScheduler : public Scheduler {
   std::size_t be_throttle_skips() const { return be_throttle_skips_; }
   std::size_t be_profile_skips() const { return be_profile_skips_; }
 
+  // --- Fault statistics. ---
+  std::size_t clients_quarantined() const { return clients_quarantined_; }
+  std::size_t runaway_quarantines() const { return runaway_quarantines_; }
+  std::size_t be_ops_dropped() const { return be_ops_dropped_; }
+  std::size_t be_bytes_released() const { return be_bytes_released_; }
+  bool client_quarantined(ClientId client) const;
+
  private:
   struct BeClient {
     ClientId id = 0;
     gpusim::StreamId stream = gpusim::kInvalidStream;
     const profiler::WorkloadProfile* profile = nullptr;
     std::deque<SchedOp> queue;
+    bool quarantined = false;
+    // Expected µs of this client's submitted-but-not-completed kernels; the
+    // slice of be_duration_ recredited if the client crashes mid-flight.
+    double outstanding_us = 0.0;
+    // The profile-backed slice of outstanding_us. Profile-miss ops fall back
+    // to descriptor numbers for throttle accounting, but those numbers are
+    // not *trusted*: the runaway watchdog scales its deadline with this sum
+    // only, so an unprofiled kernel that overstays the DUR budget is a
+    // conviction candidate no matter what its descriptor claimed.
+    double outstanding_trusted_us = 0.0;
   };
 
   // Attempts to submit best-effort work; called on every wake-up.
@@ -82,6 +122,8 @@ class OrionScheduler : public Scheduler {
   bool ScheduleBe(const runtime::Op& op, const BeClient& be);
   void SubmitHp(SchedOp op);
   void SubmitBe(BeClient& be, SchedOp op);
+  // Arms the runaway watchdog while the throttle is blocked on be_submitted_.
+  void ArmWatchdog();
 
   OrionOptions options_;
   Simulator* sim_ = nullptr;
@@ -101,11 +143,17 @@ class OrionScheduler : public Scheduler {
   std::size_t rr_cursor_ = 0;
   double be_duration_ = 0.0;  // expected µs of outstanding be kernels (Listing 1)
   std::shared_ptr<gpusim::GpuEvent> be_submitted_;  // event after last be kernel
+  ClientId be_submitted_client_ = -1;  // who recorded be_submitted_
+  bool watchdog_armed_ = false;
 
   int sm_threshold_ = 0;
   std::size_t be_kernels_submitted_ = 0;
   std::size_t be_throttle_skips_ = 0;
   std::size_t be_profile_skips_ = 0;
+  std::size_t clients_quarantined_ = 0;
+  std::size_t runaway_quarantines_ = 0;
+  std::size_t be_ops_dropped_ = 0;
+  std::size_t be_bytes_released_ = 0;
 };
 
 }  // namespace core

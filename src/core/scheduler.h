@@ -64,6 +64,16 @@ class Scheduler {
 
   // Interception entry point: `client`'s framework issued a GPU op.
   virtual void Enqueue(ClientId client, SchedOp op) = 0;
+
+  // --- Fault hooks (src/fault). Default: ignore. ---
+  // `client`'s process died. Policies that buffer per-client queues should
+  // drop its pending ops, stop issuing on its behalf, and release whatever
+  // device memory it held, without disturbing the surviving clients.
+  virtual void OnClientCrash(ClientId client) { (void)client; }
+  // The device lost SMs or memory bandwidth (Device::DegradeSms /
+  // ScaleMembw already applied). Policies whose thresholds derive from
+  // device capacity should re-resolve them against the shrunken pool.
+  virtual void OnDeviceDegraded() {}
 };
 
 }  // namespace core

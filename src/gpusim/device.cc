@@ -38,7 +38,26 @@ constexpr double kCacheInterference = 0.2;
 Device::Device(Simulator* sim, DeviceSpec spec) : sim_(sim), spec_(std::move(spec)) {
   ORION_CHECK(sim_ != nullptr);
   ORION_CHECK(spec_.num_sms > 0);
+  effective_sms_ = spec_.num_sms;
   last_update_ = sim_->now();
+}
+
+void Device::DegradeSms(int sms_lost) {
+  ORION_CHECK(sms_lost >= 0);
+  // Integrate progress at the old capacity before shrinking it.
+  AdvanceTo(sim_->now());
+  effective_sms_ = std::max(1, effective_sms_ - sms_lost);
+  // Reschedule recomputes targets against the shrunken pool; kernels holding
+  // more than their new target drain via the rebalance quantum (running
+  // blocks are never preempted, they retire).
+  Reschedule();
+}
+
+void Device::ScaleMembw(double factor) {
+  ORION_CHECK(factor > 0.0);
+  AdvanceTo(sim_->now());
+  membw_factor_ *= factor;
+  Reschedule();
 }
 
 StreamId Device::CreateStream(int priority) {
@@ -134,10 +153,10 @@ double Device::GrantedTotal() const {
 }
 
 int Device::FreeSms() const {
-  return static_cast<int>(std::floor(spec_.num_sms - GrantedTotal() + kGrantEpsilon));
+  return static_cast<int>(std::floor(effective_sms_ - GrantedTotal() + kGrantEpsilon));
 }
 
-int Device::BusySms() const { return spec_.num_sms - FreeSms(); }
+int Device::BusySms() const { return effective_sms_ - FreeSms(); }
 
 bool Device::AnyKernelRunning() const { return !running_.empty(); }
 
@@ -157,6 +176,18 @@ bool Device::StreamIdle(StreamId stream) const {
   ORION_CHECK(stream >= 0 && stream < static_cast<int>(streams_.size()));
   const Stream& s = streams_[static_cast<std::size_t>(stream)];
   return s.queue.empty() && !s.head_active;
+}
+
+DurationUs Device::StreamExecutedUs(StreamId stream) {
+  ORION_CHECK(stream >= 0 && stream < static_cast<int>(streams_.size()));
+  AdvanceTo(sim_->now());
+  DurationUs executed = 0.0;
+  for (const RunningKernel& rk : running_) {
+    if (rk.stream == stream) {
+      executed += rk.desc.duration_us - rk.remaining;
+    }
+  }
+  return executed;
 }
 
 void Device::ActivateStreamHead(StreamId stream_id) {
@@ -195,13 +226,13 @@ void Device::ActivateStreamHead(StreamId stream_id) {
         const double m = front.kernel.membw_util;
         const double intensity = c / (c + m + 1e-9);
         const double demand_frac = 0.25 + 0.65 * intensity;
-        const int capped = std::min(raw_sm_needed, spec_.num_sms);
+        const int capped = std::min(raw_sm_needed, effective_sms_);
         rk.sm_needed = std::max(1, static_cast<int>(capped * demand_frac + 0.5));
         rk.granted = 0;
         // Wave count: grids larger than the device execute in multiple
         // waves, so their blocks are proportionally shorter than the kernel.
         const double waves =
-            std::max(1.0, static_cast<double>(raw_sm_needed) / spec_.num_sms);
+            std::max(1.0, static_cast<double>(raw_sm_needed) / effective_sms_);
         rk.block_duration = std::max(1.0, front.kernel.duration_us / waves);
         rk.started_at = sim_->now();
         rk.seq = front.seq;
@@ -238,7 +269,8 @@ void Device::ActivateStreamHead(StreamId stream_id) {
       }
       case Op::Type::kMemset: {
         const DurationUs duration =
-            kMemsetOverheadUs + static_cast<double>(front.bytes) / (spec_.peak_membw_gbps * 1e3);
+            kMemsetOverheadUs + static_cast<double>(front.bytes) /
+                                    (spec_.peak_membw_gbps * membw_factor_ * 1e3);
         CompletionCb done = std::move(front.done);
         stream.queue.pop_front();
         stream.head_active = true;
@@ -325,7 +357,9 @@ void Device::ComputeRates(std::vector<std::pair<RunningKernel*, double>>* rates)
     }
     const double share = std::min(1.0, rk.granted / rk.sm_needed);
     compute += rk.desc.compute_util * share;
-    membw += rk.desc.membw_util * share;
+    // Utilizations are fractions of the healthy peak; degraded bandwidth
+    // makes the same traffic a larger fraction of what is left.
+    membw += rk.desc.membw_util * share / membw_factor_;
     rates->emplace_back(&rk, share);
   }
   const double slowdown = std::max({1.0, compute, membw});
@@ -352,7 +386,7 @@ double Device::CurrentSlowdown() const {
     }
     const double share = std::min(1.0, rk.granted / rk.sm_needed);
     compute += rk.desc.compute_util * share;
-    membw += rk.desc.membw_util * share;
+    membw += rk.desc.membw_util * share / membw_factor_;
   }
   return std::max({1.0, compute, membw});
 }
@@ -372,7 +406,7 @@ void Device::AdvanceTo(TimeUs now) {
     delivered_compute += rk->desc.compute_util * rate;
     delivered_membw += rk->desc.membw_util * rate;
   }
-  const double sm_busy = std::min(1.0, GrantedTotal() / spec_.num_sms);
+  const double sm_busy = std::min(1.0, GrantedTotal() / effective_sms_);
   utilization_.Record(last_update_, now, std::min(1.0, delivered_compute),
                       std::min(1.0, delivered_membw), sm_busy);
   last_update_ = now;
@@ -415,7 +449,7 @@ void Device::ComputeTargets() {
     rk.target = 0.0;
     kernels.push_back(&rk);
   }
-  double remaining = static_cast<double>(spec_.num_sms);
+  double remaining = static_cast<double>(effective_sms_);
   std::vector<bool> capped(kernels.size(), false);
   for (std::size_t round = 0; round < kernels.size() && remaining > kGrantEpsilon; ++round) {
     double weighted_demand = 0.0;
@@ -452,7 +486,7 @@ void Device::ComputeTargets() {
       break;  // allocation is final
     }
     // Remove the capped kernels' demand and re-fill the rest from scratch.
-    remaining = static_cast<double>(spec_.num_sms);
+    remaining = static_cast<double>(effective_sms_);
     for (std::size_t i = 0; i < kernels.size(); ++i) {
       if (capped[i]) {
         remaining -= kernels[i]->target;
@@ -522,7 +556,7 @@ void Device::Reschedule() {
       }
       return a->seq < b->seq;
     });
-    double free = static_cast<double>(spec_.num_sms) - GrantedTotal();
+    double free = static_cast<double>(effective_sms_) - GrantedTotal();
     for (RunningKernel* rk : wanting) {
       if (free <= kGrantEpsilon) {
         break;

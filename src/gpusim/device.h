@@ -113,6 +113,12 @@ class Device {
   // SMs currently granted to kernels of this stream.
   int StreamBusySms(StreamId stream) const;
   bool StreamIdle(StreamId stream) const;
+  // Alone-time µs already executed by this stream's resident (uncompleted)
+  // kernels, integrated up to now(). The runaway watchdog's evidence
+  // (src/core): a kernel starved of SMs has executed ~nothing however long
+  // it has waited, while a runaway has executed far more than any trusted
+  // expectation of its client's outstanding work.
+  DurationUs StreamExecutedUs(StreamId stream);
   std::size_t kernels_completed() const { return kernels_completed_; }
   std::size_t memcpys_completed() const { return memcpys_completed_; }
 
@@ -129,6 +135,22 @@ class Device {
   // batch. Chunks in flight are never preempted.
   void set_pcie_priority_scheduling(bool enabled) { pcie_priority_ = enabled; }
   bool pcie_priority_scheduling() const { return pcie_priority_; }
+
+  // --- Fault injection: partial device degradation (src/fault). ---
+  // ECC retirement / thermal capping analogue: the device permanently loses
+  // `sms_lost` SMs. Allocation targets are recomputed against the shrunken
+  // pool immediately; resident kernels are never preempted, so grants above
+  // the new capacity drain at block-retire speed through the normal
+  // rebalance-quantum path.
+  void DegradeSms(int sms_lost);
+  // Multiplies the effective memory bandwidth by `factor` (0 < factor). All
+  // resident kernels' memory pressure is measured against the degraded peak,
+  // so memory-bound work slows proportionally and the interference model
+  // tightens.
+  void ScaleMembw(double factor);
+  // SMs currently present (spec().num_sms minus degradation).
+  int effective_sms() const { return effective_sms_; }
+  double membw_factor() const { return membw_factor_; }
 
   // Multi-GPU plumbing (src/interconnect): routes the wire time of every
   // host<->device copy chunk through a shared link fabric, where it contends
@@ -216,6 +238,8 @@ class Device {
 
   Simulator* sim_;
   DeviceSpec spec_;
+  int effective_sms_ = 0;      // spec_.num_sms minus injected degradation
+  double membw_factor_ = 1.0;  // remaining fraction of peak memory bandwidth
   std::vector<Stream> streams_;
   std::list<RunningKernel> running_;
   std::uint64_t next_seq_ = 0;

@@ -107,11 +107,44 @@ void ClientDriver::Start() {
                       [this]() { OnArrival(); });
 }
 
+void ClientDriver::Crash() {
+  crashed_ = true;
+  pending_arrivals_.clear();
+}
+
+void ClientDriver::Hang(DurationUs runaway_us) {
+  ORION_CHECK(runaway_us > 0.0);
+  const bool was_crashed = crashed_;
+  Crash();
+  if (was_crashed) {
+    return;  // already dead: nothing left to hang on
+  }
+  // The runaway kernel: an id no offline profile contains, modelling a code
+  // path profiling never exercised (the reason it can run away unnoticed).
+  runtime::Op op;
+  op.type = runtime::OpType::kKernelLaunch;
+  op.kernel.kernel_id = 0xF417F417F417F417ull ^ static_cast<std::uint64_t>(id_);
+  op.kernel.name = "runaway";
+  op.kernel.duration_us = runaway_us;
+  op.kernel.geometry = gpusim::LaunchGeometry{};
+  op.kernel.compute_util = 0.5;
+  op.kernel.membw_util = 0.5;
+  op.client_id = static_cast<std::uint64_t>(id_);
+  op.request_id = ++next_request_id_;
+  op.end_of_request = true;
+  core::SchedOp sched_op;
+  sched_op.op = std::move(op);
+  scheduler_->Enqueue(id_, std::move(sched_op));
+}
+
 void ClientDriver::ScheduleNextArrival() {
   sim_->ScheduleAfter(arrivals_->NextInterarrival(rng_), [this]() { OnArrival(); });
 }
 
 void ClientDriver::OnArrival() {
+  if (crashed_) {
+    return;  // dead process: the arrival chain ends here
+  }
   pending_arrivals_.push_back(sim_->now());
   ScheduleNextArrival();
   if (!request_in_flight_) {
@@ -120,7 +153,7 @@ void ClientDriver::OnArrival() {
 }
 
 void ClientDriver::StartNextRequest() {
-  if (request_in_flight_ || pending_arrivals_.empty()) {
+  if (crashed_ || request_in_flight_ || pending_arrivals_.empty()) {
     return;
   }
   request_in_flight_ = true;
@@ -133,6 +166,9 @@ void ClientDriver::StartNextRequest() {
 }
 
 void ClientDriver::SubmitNextOp() {
+  if (crashed_) {
+    return;  // process died between ops of the request
+  }
   ORION_CHECK(next_op_ < template_ops_.size());
   runtime::Op op = template_ops_[next_op_];
   op.request_id = next_request_id_;
@@ -156,6 +192,9 @@ void ClientDriver::SubmitNextOp() {
 }
 
 void ClientDriver::OnRequestComplete() {
+  if (crashed_) {
+    return;  // completion of work already on the device when the process died
+  }
   const TimeUs now = sim_->now();
   ++completed_total_;
   if (now >= measure_from_) {

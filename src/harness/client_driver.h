@@ -57,6 +57,19 @@ class ClientDriver {
 
   void Start();
 
+  // --- Fault injection (src/fault). ---
+  // Process death: no further arrivals, submissions, or latency records.
+  // Completions of ops already on the device still fire into the driver and
+  // are discarded. Scheduler-side cleanup (queue quarantine, memory release)
+  // is Scheduler::OnClientCrash's job, invoked by the fault injector.
+  void Crash();
+  // Process hang with a runaway kernel: the driver stops like a crash but
+  // first pushes one kernel of `runaway_us` alone-time through the scheduler
+  // under a kernel id no profile knows. Detecting and quarantining the hang
+  // is the scheduler watchdog's job.
+  void Hang(DurationUs runaway_us);
+  bool crashed() const { return crashed_; }
+
   core::ClientId id() const { return id_; }
   const ClientConfig& config() const { return config_; }
   std::string name() const;
@@ -90,6 +103,7 @@ class ClientDriver {
 
   std::deque<TimeUs> pending_arrivals_;
   bool request_in_flight_ = false;
+  bool crashed_ = false;
   TimeUs current_arrival_ = 0.0;
   std::size_t next_op_ = 0;
   std::uint64_t next_request_id_ = 0;

@@ -8,6 +8,7 @@
 #include "src/baselines/temporal.h"
 #include "src/baselines/ticktock.h"
 #include "src/common/check.h"
+#include "src/fault/fault_injector.h"
 #include "src/runtime/gpu_runtime.h"
 #include "src/sim/simulator.h"
 
@@ -204,6 +205,36 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     schedulers.push_back(std::move(sched));
   }
 
+  // --- Fault injection (src/fault): wire the plan to the live objects. ---
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(&sim, config.fault_plan);
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+      injector->RegisterDevice(static_cast<int>(i), &runtimes[i]->device());
+    }
+    for (auto& sched : schedulers) {
+      injector->RegisterScheduler(sched.get());
+    }
+    for (auto& [key, profile] : profiles) {
+      (void)key;
+      injector->RegisterProfile(profile.get());
+    }
+    injector->set_client_fault_handler([&drivers](const fault::FaultEvent& event) {
+      for (auto& driver : drivers) {
+        if (driver->id() != event.client) {
+          continue;
+        }
+        if (event.kind == fault::FaultKind::kClientHang) {
+          driver->Hang(event.runaway_us);
+        } else {
+          driver->Crash();
+        }
+        return;
+      }
+    });
+    injector->Arm();
+  }
+
   const TimeUs measure_from = config.warmup_us;
   const TimeUs horizon = config.warmup_us + config.duration_us;
   for (auto& driver : drivers) {
@@ -242,6 +273,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   result.utilization =
       runtimes[util_index]->device().utilization().AverageOver(measure_from, horizon);
+  if (injector != nullptr) {
+    result.faults_injected = injector->injected();
+    result.faults_skipped = injector->skipped();
+  }
+  result.memory_used_end_bytes = runtimes[util_index]->memory().used();
+  for (auto& sched : schedulers) {
+    if (const auto* orion = dynamic_cast<const core::OrionScheduler*>(sched.get())) {
+      result.clients_quarantined += orion->clients_quarantined();
+      result.runaway_quarantines += orion->runaway_quarantines();
+    }
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/core/orion_scheduler.h"
 #include "src/core/scheduler.h"
+#include "src/fault/fault_plan.h"
 #include "src/gpusim/utilization.h"
 #include "src/harness/client_driver.h"
 #include "src/profiler/profiler.h"
@@ -53,6 +54,10 @@ struct ExperimentConfig {
   profiler::ProfileOptions profile_options;
   // §5.1.3 extension: schedule pending PCIe copies by stream priority.
   bool pcie_priority_scheduling = false;
+  // Fault scenario injected into the run (src/fault). Client ids in the plan
+  // index config.clients; device faults target the shared device (gpu 0) or,
+  // for Ideal/MIG, the per-client device with that index. Empty = fault-free.
+  fault::FaultPlan fault_plan;
 };
 
 struct ClientResult {
@@ -76,6 +81,13 @@ struct ExperimentResult {
   // memory, and whether layer-by-layer swapping was engaged to absorb it.
   std::size_t memory_deficit_bytes = 0;
   bool swapping_active = false;
+
+  // Fault accounting (zero on fault-free runs).
+  std::size_t faults_injected = 0;
+  std::size_t faults_skipped = 0;         // plan events whose target was absent
+  std::size_t clients_quarantined = 0;    // crash + runaway quarantines (Orion)
+  std::size_t runaway_quarantines = 0;    // watchdog-detected hangs (Orion)
+  std::size_t memory_used_end_bytes = 0;  // live device memory at the horizon
 
   const ClientResult& hp() const;
   double TotalThroughput() const;

@@ -7,6 +7,7 @@
 #include "src/collective/collective.h"
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/fault/fault_injector.h"
 #include "src/interconnect/fabric.h"
 #include "src/runtime/gpu_runtime.h"
 #include "src/sim/simulator.h"
@@ -270,6 +271,7 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
   Simulator sim;
   interconnect::Fabric fabric(&sim, config.topology);
   collective::CollectiveEngine engine(&sim, &fabric);
+  engine.set_options(config.collective);
 
   // One runtime per topology GPU, all copy engines on the shared fabric.
   std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
@@ -306,12 +308,26 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
                                       Rng(config.seed).Fork(1), &finished);
   }
 
+  // Fault injection: device and fabric faults only (there is no scheduler
+  // or per-client driver in the DDP harness).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(&sim, config.fault_plan);
+    for (int gpu = 0; gpu < topo_gpus; ++gpu) {
+      injector->RegisterDevice(gpu, &runtimes[static_cast<std::size_t>(gpu)]->device());
+    }
+    injector->RegisterFabric(&fabric);
+    injector->Arm();
+  }
+
   run.Start();
   if (hog != nullptr) {
     hog->Start();
   }
   sim.RunUntilIdle();
-  ORION_CHECK_MSG(finished, "DDP run did not complete");
+  // A faulted run may legitimately stall (e.g. a permanent link-down with
+  // detection disabled); report it instead of aborting.
+  ORION_CHECK_MSG(finished || injector != nullptr, "DDP run did not complete");
 
   MultiGpuResult result;
   result.num_gpus = static_cast<int>(ring.size());
@@ -324,6 +340,14 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
   result.allreduce_us = run.allreduce_us();
   result.compute_alone_us = plan.forward_backward_us + plan.update_us;
   result.hog_copies = hog != nullptr ? hog->copies() : 0;
+  result.completed = finished;
+  result.faults_injected = injector != nullptr ? injector->injected() : 0;
+  result.ring_reformations = engine.reformations();
+  result.step_timeouts = engine.step_timeouts();
+  result.timeout_giveups = engine.timeout_giveups();
+  result.dead_gpus.assign(engine.dead_gpus().begin(), engine.dead_gpus().end());
+  result.final_world_size =
+      static_cast<int>(ring.size()) - static_cast<int>(result.dead_gpus.size());
   for (const interconnect::Link& link : config.topology.links()) {
     LinkTraffic traffic;
     traffic.name = link.name;

@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "src/collective/collective.h"
 #include "src/common/stats.h"
+#include "src/fault/fault_plan.h"
 #include "src/gpusim/device_spec.h"
 #include "src/interconnect/topology.h"
 #include "src/workloads/ddp.h"
@@ -48,6 +50,14 @@ struct MultiGpuConfig {
   // false: one un-bucketed all-reduce after the backward pass (no
   // comm/compute overlap) — the ablation arm of the DDP bench.
   bool overlap_comm = true;
+  // Collective fault-detection policy (step timeouts, ring re-formation).
+  // Defaults keep detection off — required for fault plans with link/GPU
+  // faults that should be survived rather than waited out.
+  collective::CollectiveOptions collective;
+  // Fault scenario injected into the run (src/fault): link flaps/downs and
+  // GPU deaths target the fabric, device degradation targets the GPU with
+  // the event's index. Empty = fault-free.
+  fault::FaultPlan fault_plan;
 };
 
 struct LinkTraffic {
@@ -69,6 +79,16 @@ struct MultiGpuResult {
   DurationUs compute_alone_us = 0.0;  // fwd+bwd+update alone time, one GPU
   std::size_t hog_copies = 0;
   std::vector<LinkTraffic> link_traffic;
+
+  // Fault outcome. On a fault-free run: completed, zero counters, and
+  // final_world_size == num_gpus.
+  bool completed = true;           // all iterations ran (false: stalled run)
+  std::size_t faults_injected = 0;
+  std::size_t ring_reformations = 0;
+  std::size_t step_timeouts = 0;
+  std::size_t timeout_giveups = 0;
+  std::vector<int> dead_gpus;      // GPUs the collective engine expelled
+  int final_world_size = 0;        // surviving DDP world size
 };
 
 MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config);

@@ -22,12 +22,14 @@ Fabric::Fabric(Simulator* sim, NodeTopology topology)
   ORION_CHECK(sim_ != nullptr);
   ORION_CHECK(topology_.num_gpus() >= 1);
   bytes_moved_.assign(topology_.links().size() * 2, 0.0);
+  link_factor_.assign(topology_.links().size() * 2, 1.0);
   last_update_ = sim_->now();
 }
 
-void Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback done) {
+TransferId Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback done) {
   Transfer transfer;
-  transfer.seq = next_seq_++;
+  const TransferId id = next_seq_++;
+  transfer.seq = id;
   transfer.route = topology_.Route(src, dst);
   transfer.remaining = static_cast<double>(bytes);
   transfer.done = std::move(done);
@@ -38,13 +40,27 @@ void Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback done) {
   }
   if (latency > 0.0) {
     ++in_setup_;
+    setup_ids_.insert(id);
     sim_->ScheduleAfter(latency, [this, transfer = std::move(transfer)]() mutable {
       --in_setup_;
+      setup_ids_.erase(transfer.seq);
+      const auto cancelled = cancelled_pending_.find(transfer.seq);
+      if (cancelled != cancelled_pending_.end()) {
+        // Cancelled before streaming started: no bytes moved, just unblock
+        // the caller.
+        cancelled_pending_.erase(cancelled);
+        ++transfers_cancelled_;
+        if (transfer.done) {
+          sim_->ScheduleAfter(0.0, std::move(transfer.done));
+        }
+        return;
+      }
       Activate(std::move(transfer));
     });
   } else {
     Activate(std::move(transfer));
   }
+  return id;
 }
 
 void Fabric::StartHostCopy(int gpu, std::size_t bytes, bool to_device,
@@ -85,6 +101,59 @@ double Fabric::BytesMoved(LinkId link, bool forward) const {
   return bytes_moved_[index];
 }
 
+void Fabric::SetLinkFactor(LinkId link, bool forward, double factor) {
+  ORION_CHECK(factor >= 0.0);
+  const std::size_t index = DirIndex(Hop{link, forward});
+  ORION_CHECK(index < link_factor_.size());
+  if (link_factor_[index] == factor) {
+    return;
+  }
+  // Integrate the interval at the old rates before the change takes effect.
+  AdvanceTo(sim_->now());
+  link_factor_[index] = factor;
+  Update();
+}
+
+double Fabric::LinkFactor(LinkId link, bool forward) const {
+  const std::size_t index = DirIndex(Hop{link, forward});
+  ORION_CHECK(index < link_factor_.size());
+  return link_factor_[index];
+}
+
+bool Fabric::GpuAlive(int gpu) const {
+  for (const Link& link : topology_.links()) {
+    if (link.node_a != gpu && link.node_b != gpu) {
+      continue;
+    }
+    const std::size_t base = static_cast<std::size_t>(link.id) * 2;
+    if (link_factor_[base] > 0.0 || link_factor_[base + 1] > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Fabric::CancelTransfer(TransferId id) {
+  for (auto it = transfers_.begin(); it != transfers_.end(); ++it) {
+    if (it->seq != id) {
+      continue;
+    }
+    AdvanceTo(sim_->now());
+    Callback done = std::move(it->done);
+    transfers_.erase(it);
+    ++transfers_cancelled_;
+    if (done) {
+      sim_->ScheduleAfter(0.0, std::move(done));
+    }
+    Update();
+    return true;
+  }
+  if (setup_ids_.count(id) != 0 && cancelled_pending_.insert(id).second) {
+    return true;
+  }
+  return false;
+}
+
 std::vector<double> Fabric::ComputeRates() const {
   // Equal split per link direction: count the transfers on each, then take
   // the minimum share along each transfer's route.
@@ -100,8 +169,10 @@ std::vector<double> Fabric::ComputeRates() const {
     double rate = std::numeric_limits<double>::infinity();
     for (const Hop& hop : transfer.route) {
       // gbps GB/s == gbps * 1e3 bytes/µs (same convention as DeviceSpec).
-      const double share =
-          topology_.link(hop.link).gbps * 1e3 / counts[DirIndex(hop)];
+      // link_factor_ is the fault-injection bandwidth scale (0 = direction
+      // down: every transfer crossing it stalls in place).
+      const double share = topology_.link(hop.link).gbps * 1e3 *
+                           link_factor_[DirIndex(hop)] / counts[DirIndex(hop)];
       rate = std::min(rate, share);
     }
     rates.push_back(rate);

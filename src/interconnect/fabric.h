@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <set>
 #include <vector>
 
 #include "src/common/time_types.h"
@@ -34,6 +35,10 @@
 
 namespace orion {
 namespace interconnect {
+
+// Identifies one in-flight transfer (returned by Fabric::StartTransfer, used
+// by CancelTransfer). Ids are never reused.
+using TransferId = std::uint64_t;
 
 class Fabric : public gpusim::HostLinkModel {
  public:
@@ -50,8 +55,9 @@ class Fabric : public gpusim::HostLinkModel {
   // (kHostNode for host memory). `done` fires via a simulator event once the
   // payload has fully crossed every link of the route. Transfers first spend
   // the route's summed link latency in a setup phase that consumes no
-  // bandwidth, then stream bytes at the fair-share rate.
-  void StartTransfer(int src, int dst, std::size_t bytes, Callback done);
+  // bandwidth, then stream bytes at the fair-share rate. Returns an id usable
+  // with CancelTransfer while the transfer is in flight.
+  TransferId StartTransfer(int src, int dst, std::size_t bytes, Callback done);
 
   // gpusim::HostLinkModel — copy-engine chunks from an attached Device.
   void StartHostCopy(int gpu, std::size_t bytes, bool to_device,
@@ -65,6 +71,25 @@ class Fabric : public gpusim::HostLinkModel {
   // since construction. (A double: bytes accrue fluidly.)
   double BytesMoved(LinkId link, bool forward) const;
   std::size_t transfers_completed() const { return transfers_completed_; }
+  std::size_t transfers_cancelled() const { return transfers_cancelled_; }
+
+  // --- Fault injection (src/fault). ---
+  // Scales one direction of a link to `factor` (0 <= factor; 1 = healthy,
+  // 0 = down). Transfers crossing a dead direction stall in place — they
+  // keep their route and resume when the factor comes back, so a flap costs
+  // only the outage interval. Rates everywhere are recomputed immediately.
+  void SetLinkFactor(LinkId link, bool forward, double factor);
+  double LinkFactor(LinkId link, bool forward) const;
+  // A GPU is alive while at least one direction of at least one of its links
+  // carries bandwidth. FaultKind::kGpuDown zeroes every link of the GPU, so
+  // this is how the collective engine distinguishes a dead peer from a flap.
+  bool GpuAlive(int gpu) const;
+  // Aborts an in-flight transfer (streaming or still in setup): remaining
+  // bytes are dropped, bytes already moved stay counted, and the completion
+  // callback still fires (via a zero-delay event; after the setup latency if
+  // the transfer had not started streaming). Returns false if the id is not
+  // in flight.
+  bool CancelTransfer(TransferId id);
 
  private:
   struct Transfer {
@@ -91,11 +116,15 @@ class Fabric : public gpusim::HostLinkModel {
   NodeTopology topology_;
   std::list<Transfer> transfers_;  // in flight, streaming phase
   std::vector<double> bytes_moved_;  // indexed by DirIndex
+  std::vector<double> link_factor_;  // indexed by DirIndex; 1.0 = healthy
   std::uint64_t next_seq_ = 0;
   TimeUs last_update_ = 0.0;
   EventHandle completion_event_;
   int in_setup_ = 0;  // transfers still in their latency phase
+  std::set<TransferId> setup_ids_;          // ids still in their setup phase
+  std::set<TransferId> cancelled_pending_;  // cancelled while in setup
   std::size_t transfers_completed_ = 0;
+  std::size_t transfers_cancelled_ = 0;
 };
 
 }  // namespace interconnect

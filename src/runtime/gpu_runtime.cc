@@ -63,10 +63,12 @@ void GpuRuntime::Submit(const Op& op, gpusim::StreamId stream, CompletionCb done
       device_.EnqueueMemset(stream, op.bytes, std::move(done));
       return;
     case OpType::kMalloc: {
-      // cudaMalloc synchronises the device (§5.1.3), then reserves memory.
+      // cudaMalloc synchronises the device (§5.1.3), then reserves memory,
+      // attributed to the issuing client so a crash can reclaim it.
       const std::size_t bytes = op.bytes;
-      device_.SynchronizeDevice([this, bytes, done = std::move(done)]() mutable {
-        const MemHandle handle = memory_.Allocate(bytes);
+      const std::uint64_t client = op.client_id;
+      device_.SynchronizeDevice([this, bytes, client, done = std::move(done)]() mutable {
+        const MemHandle handle = memory_.Allocate(bytes, client);
         ORION_CHECK_MSG(handle != kInvalidMemHandle,
                         "device OOM: requested " << bytes << "B with " << memory_.available()
                                                  << "B available");

@@ -1,0 +1,138 @@
+// Determinism regression tests (ISSUE satellite): within one process, a
+// faulted run repeated with the same seed must be bit-identical (same
+// completion counts, EXPECT_DOUBLE_EQ-equal latency percentiles, same fault
+// counters), and a different seed must produce a different outcome. Guards
+// the fault subsystem's claim that injection lives entirely on the
+// discrete-event clock — no wall-clock, no global RNG, no hidden state
+// carried between runs.
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_plan.h"
+#include "src/harness/experiment.h"
+#include "src/harness/multi_gpu.h"
+#include "src/trace/request_rates.h"
+
+namespace orion {
+namespace harness {
+namespace {
+
+using workloads::MakeWorkload;
+using workloads::ModelId;
+using workloads::TaskType;
+
+// Inference + training collocation with one of every injectable fault class
+// that a single-device harness supports.
+ExperimentConfig FaultedConfig() {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kOrion;
+  config.warmup_us = SecToUs(0.5);
+  config.duration_us = SecToUs(2.0);
+  config.orion.conservative_profile_miss = true;
+  config.orion.runaway_timeout_factor = 4.0;
+
+  ClientConfig hp;
+  hp.workload = MakeWorkload(ModelId::kResNet50, TaskType::kInference);
+  hp.high_priority = true;
+  hp.arrivals = ClientConfig::Arrivals::kPoisson;
+  hp.rps = trace::RequestsPerSecond(ModelId::kResNet50,
+                                    trace::CollocationCase::kInfTrainPoisson);
+  ClientConfig be1;
+  be1.workload = MakeWorkload(ModelId::kResNet50, TaskType::kTraining);
+  be1.arrivals = ClientConfig::Arrivals::kClosedLoop;
+  ClientConfig be2;
+  be2.workload = MakeWorkload(ModelId::kMobileNetV2, TaskType::kTraining);
+  be2.arrivals = ClientConfig::Arrivals::kClosedLoop;
+  config.clients = {hp, be1, be2};
+
+  fault::FaultEvent degrade;
+  degrade.kind = fault::FaultKind::kDeviceDegrade;
+  degrade.at_us = SecToUs(0.8);
+  degrade.gpu = 0;
+  degrade.sms_lost = 20;
+  degrade.membw_factor = 0.8;
+  config.fault_plan.events.push_back(degrade);
+
+  fault::FaultEvent poison;
+  poison.kind = fault::FaultKind::kProfilePoison;
+  poison.at_us = SecToUs(1.0);
+  poison.perturb_factor = 1.25;
+  poison.drop_fraction = 0.25;
+  poison.seed = 5;
+  config.fault_plan.events.push_back(poison);
+
+  fault::FaultEvent hang;
+  hang.kind = fault::FaultKind::kClientHang;
+  hang.at_us = SecToUs(1.2);
+  hang.client = 1;
+  hang.runaway_us = SecToUs(0.1);
+  config.fault_plan.events.push_back(hang);
+
+  return config;
+}
+
+TEST(DeterminismTest, SameSeedFaultedExperimentIsBitIdentical) {
+  const ExperimentConfig config = FaultedConfig();
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_skipped, b.faults_skipped);
+  EXPECT_EQ(a.clients_quarantined, b.clients_quarantined);
+  EXPECT_EQ(a.runaway_quarantines, b.runaway_quarantines);
+  EXPECT_EQ(a.memory_used_end_bytes, b.memory_used_end_bytes);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_EQ(a.clients[i].completed, b.clients[i].completed) << i;
+    EXPECT_DOUBLE_EQ(a.clients[i].latency.p50(), b.clients[i].latency.p50()) << i;
+    EXPECT_DOUBLE_EQ(a.clients[i].latency.p99(), b.clients[i].latency.p99()) << i;
+    EXPECT_DOUBLE_EQ(a.clients[i].throughput_rps, b.clients[i].throughput_rps) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.utilization.sm_busy, b.utilization.sm_busy);
+}
+
+TEST(DeterminismTest, DifferentSeedFaultedExperimentDiffers) {
+  ExperimentConfig config = FaultedConfig();
+  const ExperimentResult a = RunExperiment(config);
+  config.seed = 1234;
+  const ExperimentResult b = RunExperiment(config);
+  // The Poisson arrivals reshuffle, so the hp tail cannot coincide.
+  EXPECT_NE(a.hp().latency.p99(), b.hp().latency.p99());
+}
+
+TEST(DeterminismTest, FaultedDdpRunIsBitIdentical) {
+  MultiGpuConfig config;
+  config.topology = interconnect::NodeTopology::FullNvLink(4);
+  config.ddp.model = ModelId::kResNet50;
+  config.ddp.num_gpus = 4;
+  config.ddp.global_batch_size = 32;
+  config.iterations = 6;
+  config.collective.step_timeout_us = 200.0;
+
+  fault::FaultEvent death;
+  death.kind = fault::FaultKind::kGpuDown;
+  death.at_us = 2000.0;
+  death.gpu = 3;
+  config.fault_plan.events.push_back(death);
+
+  const MultiGpuResult a = RunDdpExperiment(config);
+  const MultiGpuResult b = RunDdpExperiment(config);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.ring_reformations, b.ring_reformations);
+  EXPECT_EQ(a.step_timeouts, b.step_timeouts);
+  EXPECT_EQ(a.dead_gpus, b.dead_gpus);
+  EXPECT_EQ(a.final_world_size, b.final_world_size);
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+  EXPECT_DOUBLE_EQ(a.iteration_us.mean(), b.iteration_us.mean());
+  EXPECT_DOUBLE_EQ(a.allreduce_us.mean(), b.allreduce_us.mean());
+  ASSERT_EQ(a.link_traffic.size(), b.link_traffic.size());
+  for (std::size_t i = 0; i < a.link_traffic.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.link_traffic[i].forward_bytes, b.link_traffic[i].forward_bytes) << i;
+    EXPECT_DOUBLE_EQ(a.link_traffic[i].backward_bytes, b.link_traffic[i].backward_bytes)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace orion
