@@ -7,8 +7,10 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/table.h"
@@ -23,6 +25,66 @@ namespace bench {
 // hundred inference requests and dozens of training iterations per run.
 constexpr DurationUs kWarmupUs = SecToUs(1.0);
 constexpr DurationUs kDurationUs = SecToUs(15.0);
+
+// Flags shared by every bench binary. Parsed once by ParseBenchArgs; the
+// accessors below fold them into the standard measurement windows so
+// individual benches stay flag-free.
+struct BenchArgs {
+  bool quick = false;        // --quick: ~8x shorter windows, for CI smoke runs
+  std::uint64_t seed = 42;   // --seed=N: experiment seed
+  double window_scale = 1.0; // --window-scale=X: multiply both windows by X
+};
+
+inline BenchArgs& GlobalBenchArgs() {
+  static BenchArgs args;
+  return args;
+}
+
+// Parses --quick / --seed=N / --window-scale=X / --help and removes them
+// from argv. Leftover --benchmark_* flags are kept for binaries that forward
+// to google benchmark (overhead_interception); any other leftover flag is an
+// error. Call first thing in main().
+inline void ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs& args = GlobalBenchArgs();
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg.rfind("--window-scale=", 0) == 0) {
+      args.window_scale = std::strtod(argv[i] + 15, nullptr);
+      if (args.window_scale <= 0.0) {
+        std::cerr << "--window-scale must be > 0\n";
+        std::exit(2);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "Usage: " << argv[0] << " [--quick] [--seed=N] [--window-scale=X]\n"
+                << "  --quick           ~8x shorter measurement windows (CI smoke)\n"
+                << "  --seed=N          experiment seed (default 42)\n"
+                << "  --window-scale=X  multiply warmup+measurement windows by X\n";
+      std::exit(0);
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      argv[kept++] = argv[i];  // google-benchmark flag: leave for the caller
+    } else {
+      std::cerr << "unknown argument: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  *argc = kept;
+}
+
+// Standard windows with --quick / --window-scale applied.
+inline DurationUs WarmupWindowUs() {
+  const BenchArgs& args = GlobalBenchArgs();
+  return kWarmupUs * (args.quick ? 0.25 : 1.0) * args.window_scale;
+}
+
+inline DurationUs MeasureWindowUs() {
+  const BenchArgs& args = GlobalBenchArgs();
+  return kDurationUs * (args.quick ? 0.125 : 1.0) * args.window_scale;
+}
 
 inline harness::ClientConfig InferenceClient(workloads::ModelId model,
                                              harness::ClientConfig::Arrivals arrivals,
@@ -53,8 +115,9 @@ inline harness::ExperimentResult RunPair(const harness::ClientConfig& hp,
   config.device = device;
   config.scheduler = scheduler;
   config.orion = orion_options;
-  config.warmup_us = kWarmupUs;
-  config.duration_us = kDurationUs;
+  config.warmup_us = WarmupWindowUs();
+  config.duration_us = MeasureWindowUs();
+  config.seed = GlobalBenchArgs().seed;
   config.clients = {hp, be};
   return harness::RunExperiment(config);
 }
@@ -79,7 +142,8 @@ inline core::OrionOptions OrionOptionsFor(const harness::ClientConfig& hp,
   harness::ExperimentConfig config;
   config.device = device;
   config.scheduler = harness::SchedulerKind::kOrion;
-  config.warmup_us = kWarmupUs;
+  config.warmup_us = WarmupWindowUs();
+  config.seed = GlobalBenchArgs().seed;
   config.clients = {hp, be};
   options.sm_threshold = harness::TuneSmThreshold(config).best_threshold;
   return options;

@@ -55,7 +55,8 @@ double SimulatePair(const JobSpec& a, const JobSpec& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 7)", "profile-aware cluster placement");
 
   using workloads::ModelId;

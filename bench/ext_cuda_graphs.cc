@@ -18,7 +18,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 7)", "CUDA graphs vs kernel-level interception");
 
   // --- Part 1: dedicated host-overhead savings. ---
@@ -27,6 +28,7 @@ int main() {
   for (auto overhead : {6.0, 20.0}) {
     for (auto model : {workloads::ModelId::kMobileNetV2, workloads::ModelId::kResNet50}) {
       harness::ExperimentConfig config;
+      config.seed = bench::GlobalBenchArgs().seed;
       config.scheduler = harness::SchedulerKind::kDedicated;
       config.warmup_us = SecToUs(0.3);
       config.duration_us = SecToUs(4.0);
@@ -49,9 +51,10 @@ int main() {
   // --- Part 2: what graphs cost the scheduler. ---
   std::cout << "\n-- inf-train under Orion: best-effort trainer eager vs graph-captured\n";
   harness::ExperimentConfig config;
+  config.seed = bench::GlobalBenchArgs().seed;
   config.scheduler = harness::SchedulerKind::kOrion;
-  config.warmup_us = bench::kWarmupUs;
-  config.duration_us = bench::kDurationUs;
+  config.warmup_us = bench::WarmupWindowUs();
+  config.duration_us = bench::MeasureWindowUs();
   config.clients.push_back(bench::InferenceClient(
       workloads::ModelId::kResNet50, harness::ClientConfig::Arrivals::kPoisson,
       trace::RequestsPerSecond(workloads::ModelId::kResNet50,

@@ -69,7 +69,8 @@ harness::MultiGpuConfig DdpConfig() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (fault tolerance)",
                      "graceful degradation under injected faults");
 

@@ -12,7 +12,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 7)", "LLM token-generation collocation");
 
   // High-priority: LLM decode service, Poisson arrivals.

@@ -11,7 +11,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 5.1.3)", "memory swapping for oversized collocations");
 
   Table table({"batch", "aggregate_GB", "deficit_GB", "hp_it/s", "hp_vs_ideal", "be_it/s"});
@@ -27,8 +28,9 @@ int main() {
     be.allow_swapping = true;
 
     harness::ExperimentConfig config;
-    config.warmup_us = bench::kWarmupUs;
-    config.duration_us = bench::kDurationUs;
+    config.seed = bench::GlobalBenchArgs().seed;
+    config.warmup_us = bench::WarmupWindowUs();
+    config.duration_us = bench::MeasureWindowUs();
     config.clients = {hp, be};
 
     config.scheduler = harness::SchedulerKind::kDedicated;

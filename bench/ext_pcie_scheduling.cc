@@ -17,10 +17,11 @@ namespace {
 
 harness::ExperimentResult Run(bool pcie_priority) {
   harness::ExperimentConfig config;
+  config.seed = bench::GlobalBenchArgs().seed;
   config.scheduler = harness::SchedulerKind::kOrion;
   config.pcie_priority_scheduling = pcie_priority;
-  config.warmup_us = bench::kWarmupUs;
-  config.duration_us = bench::kDurationUs;
+  config.warmup_us = bench::WarmupWindowUs();
+  config.duration_us = bench::MeasureWindowUs();
   config.clients.push_back(bench::InferenceClient(
       workloads::ModelId::kResNet50, harness::ClientConfig::Arrivals::kPoisson, 40.0, true));
   // Large-batch vision training: ~38 MB input copy per iteration (~3 ms on
@@ -31,7 +32,8 @@ harness::ExperimentResult Run(bool pcie_priority) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 5.1.3)", "PCIe-aware copy scheduling");
 
   const auto fifo = Run(false);

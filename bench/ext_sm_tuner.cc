@@ -12,12 +12,14 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Extension (Section 5.1.1)", "SM_THRESHOLD binary-search auto-tuning");
 
   harness::ExperimentConfig config;
+  config.seed = bench::GlobalBenchArgs().seed;
   config.scheduler = harness::SchedulerKind::kOrion;
-  config.warmup_us = bench::kWarmupUs;
+  config.warmup_us = bench::WarmupWindowUs();
   config.clients = {bench::TrainingClient(workloads::ModelId::kResNet50, true),
                     bench::TrainingClient(workloads::ModelId::kMobileNetV2, false)};
 
@@ -35,7 +37,7 @@ int main() {
   std::cout << "\nchosen SM_THRESHOLD: " << tuned.best_threshold << "\n";
 
   // Compare default vs tuned on a full-length run.
-  config.duration_us = bench::kDurationUs;
+  config.duration_us = bench::MeasureWindowUs();
   Table table({"configuration", "hp_it/s", "hp_vs_ideal", "be_it/s"});
   config.orion.sm_threshold = 0;  // default: device SM count
   const auto def = harness::RunExperiment(config);

@@ -8,7 +8,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Figure 7", "inference-training collocation, Poisson arrivals");
   bench::MatrixOptions options;
   options.hp_arrivals = harness::ClientConfig::Arrivals::kPoisson;

@@ -16,8 +16,9 @@ namespace {
 
 harness::ExperimentResult Run(bool collocated) {
   harness::ExperimentConfig config;
-  config.warmup_us = bench::kWarmupUs;
-  config.duration_us = bench::kDurationUs;
+  config.seed = bench::GlobalBenchArgs().seed;
+  config.warmup_us = bench::WarmupWindowUs();
+  config.duration_us = bench::MeasureWindowUs();
   config.scheduler =
       collocated ? harness::SchedulerKind::kOrion : harness::SchedulerKind::kDedicated;
   config.clients.push_back(bench::InferenceClient(workloads::ModelId::kResNet50,
@@ -31,7 +32,8 @@ harness::ExperimentResult Run(bool collocated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Figures 8-9",
                      "ResNet50 inference utilization: alone vs collocated with training");
 

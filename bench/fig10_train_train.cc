@@ -12,7 +12,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Figure 10", "training-training collocation throughput");
 
   using workloads::ModelId;

@@ -10,7 +10,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Figure 13", "five inference clients on an A100-40GB");
 
   const gpusim::DeviceSpec device = gpusim::DeviceSpec::A100_40GB();
@@ -24,9 +25,10 @@ int main() {
   for (auto hp_model : bench::AllModels()) {
     // The four best-effort clients serve the other four models.
     harness::ExperimentConfig config;
+    config.seed = bench::GlobalBenchArgs().seed;
     config.device = device;
-    config.warmup_us = bench::kWarmupUs;
-    config.duration_us = bench::kDurationUs;
+    config.warmup_us = bench::WarmupWindowUs();
+    config.duration_us = bench::MeasureWindowUs();
     config.clients.push_back(bench::InferenceClient(
         hp_model, harness::ClientConfig::Arrivals::kPoisson,
         trace::RequestsPerSecond(hp_model, trace::CollocationCase::kInfInfPoisson), true));

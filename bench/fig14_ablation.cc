@@ -16,10 +16,11 @@ namespace {
 
 harness::ExperimentResult Run(harness::SchedulerKind kind, core::OrionOptions options) {
   harness::ExperimentConfig config;
+  config.seed = bench::GlobalBenchArgs().seed;
   config.scheduler = kind;
   config.orion = options;
-  config.warmup_us = bench::kWarmupUs;
-  config.duration_us = bench::kDurationUs;
+  config.warmup_us = bench::WarmupWindowUs();
+  config.duration_us = bench::MeasureWindowUs();
   config.clients.push_back(bench::InferenceClient(
       workloads::ModelId::kResNet50, harness::ClientConfig::Arrivals::kPoisson,
       trace::RequestsPerSecond(workloads::ModelId::kResNet50,
@@ -31,7 +32,8 @@ harness::ExperimentResult Run(harness::SchedulerKind kind, core::OrionOptions op
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Figure 14", "Orion performance-analysis breakdown (inf-train Poisson)");
 
   struct Step {

@@ -116,6 +116,7 @@ BENCHMARK(BM_OrionEnqueueDecision);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   PrintInterceptionOverheadTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

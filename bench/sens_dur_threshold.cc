@@ -11,7 +11,8 @@
 
 using namespace orion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(&argc, argv);
   bench::PrintHeader("Sensitivity (Section 6.4)", "DUR_THRESHOLD sweep");
 
   const harness::ClientConfig hp = bench::InferenceClient(
@@ -27,10 +28,11 @@ int main() {
   Table table({"dur_threshold_%", "hp_p99_ms", "p99_vs_ideal", "be_it/s"});
   for (double pct : {1.0, 2.5, 5.0, 10.0, 15.0, 20.0}) {
     harness::ExperimentConfig config;
+    config.seed = bench::GlobalBenchArgs().seed;
     config.scheduler = harness::SchedulerKind::kOrion;
     config.orion.dur_threshold_frac = pct / 100.0;
-    config.warmup_us = bench::kWarmupUs;
-    config.duration_us = bench::kDurationUs;
+    config.warmup_us = bench::WarmupWindowUs();
+    config.duration_us = bench::MeasureWindowUs();
     config.clients = {hp, be};
     const auto result = harness::RunExperiment(config);
     table.AddRow({Cell(pct, 1), Cell(UsToMs(result.hp().latency.p99()), 2),

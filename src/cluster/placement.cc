@@ -210,6 +210,38 @@ std::optional<Placement> PlacementEngine::PlaceRoundRobin(const std::vector<JobS
   return placement;
 }
 
+std::optional<int> PlacementEngine::BestGpuFor(const JobSignature& job,
+                                               const std::vector<GpuResidents>& gpus,
+                                               std::size_t gpu_memory_bytes,
+                                               int max_jobs_per_gpu) {
+  ORION_CHECK(max_jobs_per_gpu >= 1);
+  std::optional<int> best;
+  auto best_score = std::make_pair(std::numeric_limits<double>::infinity(),
+                                   std::numeric_limits<std::size_t>::max());
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    const GpuResidents& gpu = gpus[g];
+    if (!gpu.alive || static_cast<int>(gpu.jobs.size()) >= max_jobs_per_gpu ||
+        gpu.used_bytes + job.state_bytes > gpu_memory_bytes) {
+      continue;
+    }
+    double added = 0.0;
+    bool has_hp = false;
+    for (const JobSignature& other : gpu.jobs) {
+      added += PairInterference(job, other);
+      has_hp = has_hp || other.high_priority;
+    }
+    if (job.high_priority && has_hp) {
+      continue;  // one latency-critical job per GPU
+    }
+    const auto score = std::make_pair(added, gpu.jobs.size());
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<int>(g);
+    }
+  }
+  return best;
+}
+
 double PlacementEngine::ScorePlacement(const std::vector<JobSignature>& jobs,
                                        const Placement& placement) {
   double total = 0.0;

@@ -78,6 +78,14 @@ struct PlacementOptions {
   std::optional<interconnect::NodeTopology> topology;
 };
 
+// Incremental placement: the serving tier adds and removes replicas one at
+// a time against live GPU state rather than re-packing the whole cluster.
+struct GpuResidents {
+  bool alive = true;                // dead GPUs never receive placements
+  std::vector<JobSignature> jobs;   // current residents
+  std::size_t used_bytes = 0;
+};
+
 class PlacementEngine {
  public:
   // Returns std::nullopt when the jobs cannot be packed (memory or slot
@@ -92,6 +100,14 @@ class PlacementEngine {
   // Predicted interference of an existing placement (for scoring baselines).
   static double ScorePlacement(const std::vector<JobSignature>& jobs,
                                const Placement& placement);
+
+  // Picks the alive GPU that can host `job` with the least added
+  // PairInterference, subject to memory capacity, max_jobs_per_gpu, and the
+  // one-latency-critical-job-per-GPU rule; an emptier GPU breaks ties, then
+  // the lowest index. Returns std::nullopt when no GPU fits.
+  static std::optional<int> BestGpuFor(const JobSignature& job,
+                                       const std::vector<GpuResidents>& gpus,
+                                       std::size_t gpu_memory_bytes, int max_jobs_per_gpu);
 };
 
 }  // namespace cluster

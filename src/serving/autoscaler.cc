@@ -1,0 +1,51 @@
+#include "src/serving/autoscaler.h"
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace serving {
+
+const char* ScaleDecisionName(ScaleDecision decision) {
+  switch (decision) {
+    case ScaleDecision::kHold:
+      return "hold";
+    case ScaleDecision::kUp:
+      return "up";
+    case ScaleDecision::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+double WindowAttainment(const ModelWindowSignals& signals) {
+  if (signals.completions == 0) {
+    return signals.arrivals == 0 ? 1.0 : 0.0;
+  }
+  return static_cast<double>(signals.slo_met) / static_cast<double>(signals.completions);
+}
+
+ScaleDecision Decide(const AutoscalerConfig& config, const ModelWindowSignals& signals) {
+  ORION_CHECK(signals.min_replicas >= 0);
+  ORION_CHECK(signals.max_replicas >= signals.min_replicas);
+  if (!config.enabled) {
+    return ScaleDecision::kHold;
+  }
+  const int total = signals.active_replicas + signals.pending_replicas;
+  const double attainment = WindowAttainment(signals);
+
+  const bool overloaded = signals.shed > 0 || attainment < config.target_attainment ||
+                          signals.utilization > config.scale_up_utilization;
+  if (overloaded && total < signals.max_replicas && signals.pending_replicas == 0) {
+    return ScaleDecision::kUp;
+  }
+
+  const bool healthy = signals.shed == 0 && attainment >= config.target_attainment &&
+                       signals.utilization < config.scale_down_utilization;
+  if (healthy && signals.pending_replicas == 0 && signals.active_replicas > signals.min_replicas) {
+    return ScaleDecision::kDown;
+  }
+  return ScaleDecision::kHold;
+}
+
+}  // namespace serving
+}  // namespace orion

@@ -1,0 +1,61 @@
+// Autoscaler: per-model replica-count control from windowed load signals.
+//
+// Every evaluation period the engine hands the autoscaler one window's worth
+// of per-model signals — arrivals, completions, SLO attainment, shed count,
+// and mean replica busy fraction — and gets back a hold/up/down decision.
+// Scale-ups go through the placement engine (serving.cc picks the GPU with
+// the least added interference); scale-downs drain the least-loaded replica
+// before releasing its GPU memory. The decision logic is pure so tests can
+// table-drive it.
+//
+// Signals are deliberately redundant: shedding or poor attainment catches
+// overload *after* it hurts, high busy fraction catches it *before* (the
+// queue is still absorbing the excess), and both must look healthy before a
+// replica is surrendered.
+#ifndef SRC_SERVING_AUTOSCALER_H_
+#define SRC_SERVING_AUTOSCALER_H_
+
+#include <cstddef>
+
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace serving {
+
+struct AutoscalerConfig {
+  bool enabled = false;
+  DurationUs eval_period_us = SecToUs(0.5);
+  double target_attainment = 0.95;     // scale up when the window dips below
+  double scale_up_utilization = 0.85;  // mean replica busy fraction
+  double scale_down_utilization = 0.35;
+};
+
+// One model service's signals over the last evaluation window.
+struct ModelWindowSignals {
+  std::size_t arrivals = 0;
+  std::size_t completions = 0;
+  std::size_t slo_met = 0;
+  std::size_t shed = 0;
+  double utilization = 0.0;  // mean busy fraction across active replicas
+  int active_replicas = 0;
+  int pending_replicas = 0;  // still provisioning (count against max, and
+                             // block further scale-ups until they land)
+  int min_replicas = 1;
+  int max_replicas = 1;
+};
+
+enum class ScaleDecision { kHold, kUp, kDown };
+
+const char* ScaleDecisionName(ScaleDecision decision);
+
+// SLO attainment of the window: slo_met / completions. A window with
+// arrivals but no completions is treated as attainment 0 (the service is
+// drowning); an idle window as attainment 1.
+double WindowAttainment(const ModelWindowSignals& signals);
+
+ScaleDecision Decide(const AutoscalerConfig& config, const ModelWindowSignals& signals);
+
+}  // namespace serving
+}  // namespace orion
+
+#endif  // SRC_SERVING_AUTOSCALER_H_

@@ -1,0 +1,54 @@
+#include "src/serving/batcher.h"
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace serving {
+
+DynamicBatcher::DynamicBatcher(const BatchingConfig& config) : config_(config) {
+  ORION_CHECK(config.max_batch_size >= 1);
+  ORION_CHECK(config.max_queue_delay_us >= 0.0);
+}
+
+void DynamicBatcher::Enqueue(Request request, TimeUs now) {
+  request.enqueue_us = now;
+  queue_.push_back(request);
+}
+
+bool DynamicBatcher::ShouldDispatch(TimeUs now) const {
+  if (queue_.empty()) {
+    return false;
+  }
+  if (!config_.enabled) {
+    return true;
+  }
+  if (static_cast<int>(queue_.size()) >= config_.max_batch_size) {
+    return true;
+  }
+  return now >= LingerDeadline();
+}
+
+TimeUs DynamicBatcher::LingerDeadline() const {
+  ORION_CHECK(!queue_.empty());
+  return queue_.front().enqueue_us + config_.max_queue_delay_us;
+}
+
+std::vector<Request> DynamicBatcher::TakeBatch() {
+  ORION_CHECK(!queue_.empty());
+  const int take = config_.enabled ? config_.max_batch_size : 1;
+  std::vector<Request> batch;
+  while (!queue_.empty() && static_cast<int>(batch.size()) < take) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<Request> DynamicBatcher::Drain() {
+  std::vector<Request> all(queue_.begin(), queue_.end());
+  queue_.clear();
+  return all;
+}
+
+}  // namespace serving
+}  // namespace orion

@@ -1,0 +1,62 @@
+// Dynamic batcher: per-replica request queue with batch-forming policy.
+//
+// Classic serving-system batching (Triton/Clipper style): a free replica
+// dispatches immediately when a full batch is waiting, otherwise it lingers
+// up to `max_queue_delay_us` measured from the oldest queued request's
+// enqueue time, trading a bounded latency hit for the sub-linear batch cost
+// the roofline gives (batch_cost.h). With batching disabled every dispatch
+// takes exactly one request.
+//
+// The batcher is pure queue logic — the serving engine owns the clock and
+// the linger timers, which keeps this class directly unit-testable.
+#ifndef SRC_SERVING_BATCHER_H_
+#define SRC_SERVING_BATCHER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/serving/request.h"
+
+namespace orion {
+namespace serving {
+
+struct BatchingConfig {
+  bool enabled = true;
+  int max_batch_size = 8;
+  DurationUs max_queue_delay_us = 2000.0;  // linger bound from oldest enqueue
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(const BatchingConfig& config);
+
+  void Enqueue(Request request, TimeUs now);
+
+  // True when a free replica should dispatch right now: a full batch is
+  // waiting, the oldest request has lingered long enough, or batching is off.
+  bool ShouldDispatch(TimeUs now) const;
+
+  // Absolute time at which the oldest queued request's linger bound expires.
+  // Only meaningful when !empty().
+  TimeUs LingerDeadline() const;
+
+  // Removes and returns the next batch (up to max_batch_size requests, FIFO).
+  std::vector<Request> TakeBatch();
+
+  // Removes and returns everything queued (failover re-routing).
+  std::vector<Request> Drain();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  const BatchingConfig& config() const { return config_; }
+
+ private:
+  BatchingConfig config_;
+  std::deque<Request> queue_;
+};
+
+}  // namespace serving
+}  // namespace orion
+
+#endif  // SRC_SERVING_BATCHER_H_

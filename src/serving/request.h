@@ -1,0 +1,54 @@
+// Online serving request model.
+//
+// The serving front-end (serving.h) sits one level above the per-GPU Orion
+// scheduler: its unit of work is a whole inference request, not a kernel.
+// Each request belongs to one model service, carries the arrival timestamp
+// and the latency deadline derived from the service's SLO, and ends in
+// exactly one terminal outcome. Priority tiers map onto Orion's two stream
+// classes: latency-critical services run in the hp stream of their GPU
+// (small interference penalty, one per GPU), best-effort services in the be
+// stream (they harvest leftover capacity and absorb most of the contention).
+#ifndef SRC_SERVING_REQUEST_H_
+#define SRC_SERVING_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace serving {
+
+// Maps to the Orion stream the replica's kernels run in (§5.1.2).
+enum class PriorityTier : std::uint8_t {
+  kLatencyCritical,  // hp stream: protected, one such replica per GPU
+  kBestEffort,       // be stream: harvests idle capacity, absorbs contention
+};
+
+const char* PriorityTierName(PriorityTier tier);
+
+// Terminal state of a request. Every admitted or shed request ends in
+// exactly one of these; the accounting identity
+//   offered == completed + shed + dropped + left_in_system
+// is asserted by the engine at the end of every run.
+enum class RequestOutcome : std::uint8_t {
+  kPending,    // still queued or in flight
+  kCompleted,  // served (SLO met or violated — recorded separately)
+  kShed,       // rejected at admission (predicted deadline miss)
+  kDropped,    // lost: no surviving or pending replica could take it
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  int model = -1;              // index into ServingConfig::models
+  TimeUs arrival_us = 0.0;
+  TimeUs deadline_us = 0.0;    // arrival + the service's SLO
+  TimeUs enqueue_us = 0.0;     // last time it entered a replica queue
+  TimeUs start_service_us = 0.0;
+  int failovers = 0;           // times re-routed after a replica death
+  RequestOutcome outcome = RequestOutcome::kPending;
+};
+
+}  // namespace serving
+}  // namespace orion
+
+#endif  // SRC_SERVING_REQUEST_H_

@@ -1,0 +1,54 @@
+#include "src/serving/router.h"
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace serving {
+
+const char* RoutePolicyName(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case RoutePolicy::kInterferenceAware:
+      return "interference-aware";
+  }
+  return "unknown";
+}
+
+Router::Router(RoutePolicy policy, std::size_t num_models)
+    : policy_(policy), rr_cursor_(num_models, 0) {}
+
+std::size_t Router::Pick(std::size_t model, const std::vector<ReplicaView>& candidates) {
+  ORION_CHECK_MSG(!candidates.empty(), "router needs at least one candidate replica");
+  ORION_CHECK(model < rr_cursor_.size());
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin:
+      return static_cast<std::size_t>(rr_cursor_[model]++ % candidates.size());
+    case RoutePolicy::kLeastOutstanding: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const std::size_t load = candidates[i].queued + candidates[i].in_flight;
+        const std::size_t best_load = candidates[best].queued + candidates[best].in_flight;
+        if (load < best_load) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case RoutePolicy::kInterferenceAware: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].outstanding_us < candidates[best].outstanding_us) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace serving
+}  // namespace orion

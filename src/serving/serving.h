@@ -1,0 +1,147 @@
+// Online serving front-end over the shared-GPU cluster (DESIGN.md §9).
+//
+// The kernel-level simulator answers "what happens inside one GPU"; this
+// subsystem answers the question one level up: given a cluster of
+// Orion-managed GPUs and open-loop request streams for several models, how
+// do routing, dynamic batching, SLO-aware admission, autoscaling and
+// failover shape end-to-end latency and SLO attainment?
+//
+// The model is a discrete-event simulation at replica granularity:
+//   * each model service owns an arrival process (trace::ArrivalProcess) and
+//     a latency SLO, and maps to an Orion stream class via its PriorityTier;
+//   * replicas are placed on GPUs by cluster::PlacementEngine::BestGpuFor
+//     (least added PairInterference, one latency-critical replica per GPU,
+//     memory- and slot-capacity constrained);
+//   * a replica serves one batch at a time; the batch's device-busy time
+//     comes from the roofline cost model (batch_cost.h) scaled by the
+//     interference slowdown its GPU co-residents induce;
+//   * the router, admission controller, batcher and autoscaler are the
+//     pluggable policy components (router.h, admission.h, batcher.h,
+//     autoscaler.h);
+//   * fault::FaultPlan events drive failover: kGpuDown kills a GPU and every
+//     replica on it, kClientCrash kills one replica process. Queued and
+//     in-flight requests of dead replicas re-route to survivors and each
+//     lost replica triggers a re-placement on the surviving GPUs.
+//
+// Everything is seeded and event-ordered, so same-config same-seed runs are
+// bit-identical (determinism_test).
+#ifndef SRC_SERVING_SERVING_H_
+#define SRC_SERVING_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/fault/fault_plan.h"
+#include "src/gpusim/device_spec.h"
+#include "src/serving/admission.h"
+#include "src/serving/autoscaler.h"
+#include "src/serving/batcher.h"
+#include "src/serving/request.h"
+#include "src/serving/router.h"
+#include "src/workloads/models.h"
+
+namespace orion {
+namespace serving {
+
+// Open-loop arrival shapes for a service's request stream. (Closed-loop
+// arrivals are a client-side notion and make no sense for a front-end.)
+enum class ArrivalKind : std::uint8_t { kUniform, kPoisson, kApollo };
+
+struct ModelServiceConfig {
+  workloads::WorkloadSpec workload;  // per-request work; task must be inference
+  PriorityTier tier = PriorityTier::kLatencyCritical;
+  DurationUs slo_us = MsToUs(50.0);
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double rps = 50.0;
+  int initial_replicas = 1;
+  int min_replicas = 1;
+  int max_replicas = 4;
+};
+
+struct ServingConfig {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
+  int num_gpus = 4;
+  int max_replicas_per_gpu = 2;
+  DurationUs launch_overhead_us = 6.0;  // host cost per submitted kernel
+
+  std::vector<ModelServiceConfig> models;
+  RoutePolicy policy = RoutePolicy::kLeastOutstanding;
+  BatchingConfig batching;
+  AdmissionConfig admission;
+  AutoscalerConfig autoscaler;
+
+  // Replica deaths (kGpuDown / kClientCrash, where `client` is the replica
+  // id) drive failover; other fault kinds are counted as skipped.
+  fault::FaultPlan fault_plan;
+  // Provision a replacement replica on a surviving GPU for every replica
+  // lost to a fault (independent of the autoscaler).
+  bool replace_lost_replicas = true;
+
+  DurationUs warmup_us = SecToUs(1.0);
+  DurationUs duration_us = SecToUs(20.0);  // measurement window after warmup
+  std::uint64_t seed = 42;
+};
+
+// Per-service results. Window counters cover the measurement window only;
+// the total_* counters cover the whole run and satisfy
+//   total_offered == total_completed + total_shed + total_dropped + left_in_system.
+struct ModelServingResult {
+  std::string name;
+  PriorityTier tier = PriorityTier::kLatencyCritical;
+
+  std::size_t offered = 0;      // arrivals in the window
+  std::size_t completed = 0;    // completions in the window
+  std::size_t slo_met = 0;      // completions in the window within deadline
+  std::size_t shed = 0;         // admission rejections in the window
+  std::size_t dropped = 0;      // lost in the window (no surviving replica)
+  std::size_t failed_over = 0;  // re-routes after replica death in the window
+  double slo_attainment = 0.0;  // slo_met / offered
+  double throughput_rps = 0.0;
+  LatencyRecorder latency;      // e2e µs, window only
+  LatencyRecorder queueing;     // arrival → service start, window only
+  std::size_t batches = 0;              // batches served in the window
+  double mean_batch_size = 0.0;
+  int final_replicas = 0;       // active at the horizon
+
+  std::size_t total_offered = 0;
+  std::size_t total_completed = 0;
+  std::size_t total_shed = 0;
+  std::size_t total_dropped = 0;
+  std::size_t left_in_system = 0;  // queued or in flight at the horizon
+};
+
+struct ServingResult {
+  std::vector<ModelServingResult> models;
+  DurationUs window_us = 0.0;
+
+  // Autoscaler activity over the whole run.
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  std::size_t scale_failures = 0;  // wanted a replica, no GPU could host it
+
+  // Failover accounting.
+  std::size_t faults_injected = 0;
+  std::size_t faults_skipped = 0;
+  std::size_t replicas_lost = 0;
+  std::size_t replacements = 0;          // re-placements after replica death
+  std::size_t replacement_failures = 0;  // no surviving GPU could host one
+  std::size_t gpus_alive_end = 0;
+
+  // Active-replica time integrated over the window, in replica-seconds: the
+  // fleet cost the autoscaler is trying to minimise.
+  double replica_seconds = 0.0;
+
+  std::size_t TotalOffered() const;
+  std::size_t TotalCompleted() const;
+  std::size_t TotalShed() const;
+  double MeanAttainment() const;  // offered-weighted across services
+};
+
+ServingResult RunServing(const ServingConfig& config);
+
+}  // namespace serving
+}  // namespace orion
+
+#endif  // SRC_SERVING_SERVING_H_

@@ -10,6 +10,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/harness/experiment.h"
 #include "src/harness/multi_gpu.h"
+#include "src/serving/serving.h"
 #include "src/trace/request_rates.h"
 
 namespace orion {
@@ -131,6 +132,78 @@ TEST(DeterminismTest, FaultedDdpRunIsBitIdentical) {
     EXPECT_DOUBLE_EQ(a.link_traffic[i].backward_bytes, b.link_traffic[i].backward_bytes)
         << i;
   }
+}
+
+// Serving run exercising every stochastic path at once: Poisson + Apollo
+// arrivals, autoscaling, a GPU death and a replica crash mid-run.
+serving::ServingConfig FaultedServingConfig() {
+  serving::ServingConfig config;
+  config.num_gpus = 4;
+  config.warmup_us = SecToUs(0.5);
+  config.duration_us = SecToUs(5.0);
+
+  serving::ModelServiceConfig resnet;
+  resnet.workload = MakeWorkload(ModelId::kResNet50, TaskType::kInference);
+  resnet.rps = 150.0;
+  resnet.slo_us = MsToUs(60.0);
+  resnet.initial_replicas = 2;
+  serving::ModelServiceConfig bert;
+  bert.workload = MakeWorkload(ModelId::kBert, TaskType::kInference);
+  bert.tier = serving::PriorityTier::kBestEffort;
+  bert.arrivals = serving::ArrivalKind::kApollo;
+  bert.rps = 20.0;
+  bert.slo_us = MsToUs(400.0);
+  config.models = {resnet, bert};
+
+  config.autoscaler.enabled = true;
+  config.autoscaler.eval_period_us = SecToUs(0.25);
+
+  fault::FaultEvent death;
+  death.kind = fault::FaultKind::kGpuDown;
+  death.at_us = SecToUs(2.0);
+  death.gpu = 0;
+  config.fault_plan.events.push_back(death);
+  fault::FaultEvent crash;
+  crash.kind = fault::FaultKind::kClientCrash;
+  crash.at_us = SecToUs(3.0);
+  crash.client = 1;
+  config.fault_plan.events.push_back(crash);
+  return config;
+}
+
+TEST(DeterminismTest, SameSeedServingRunIsBitIdentical) {
+  const serving::ServingConfig config = FaultedServingConfig();
+  const serving::ServingResult a = serving::RunServing(config);
+  const serving::ServingResult b = serving::RunServing(config);
+
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.replicas_lost, b.replicas_lost);
+  EXPECT_EQ(a.replacements, b.replacements);
+  EXPECT_EQ(a.scale_ups, b.scale_ups);
+  EXPECT_EQ(a.scale_downs, b.scale_downs);
+  EXPECT_DOUBLE_EQ(a.replica_seconds, b.replica_seconds);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].total_offered, b.models[i].total_offered) << i;
+    EXPECT_EQ(a.models[i].total_completed, b.models[i].total_completed) << i;
+    EXPECT_EQ(a.models[i].slo_met, b.models[i].slo_met) << i;
+    EXPECT_EQ(a.models[i].shed, b.models[i].shed) << i;
+    EXPECT_EQ(a.models[i].failed_over, b.models[i].failed_over) << i;
+    EXPECT_EQ(a.models[i].batches, b.models[i].batches) << i;
+    EXPECT_DOUBLE_EQ(a.models[i].latency.p50(), b.models[i].latency.p50()) << i;
+    EXPECT_DOUBLE_EQ(a.models[i].latency.p99(), b.models[i].latency.p99()) << i;
+    EXPECT_DOUBLE_EQ(a.models[i].queueing.p99(), b.models[i].queueing.p99()) << i;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedServingRunDiffers) {
+  serving::ServingConfig config = FaultedServingConfig();
+  const serving::ServingResult a = serving::RunServing(config);
+  config.seed = 1234;
+  const serving::ServingResult b = serving::RunServing(config);
+  // Poisson arrivals reshuffle: offered counts and the tail cannot coincide.
+  EXPECT_TRUE(a.models[0].total_offered != b.models[0].total_offered ||
+              a.models[0].latency.p99() != b.models[0].latency.p99());
 }
 
 }  // namespace

@@ -71,6 +71,40 @@ TEST(ReplayArrivalsDeathTest, NeedsTwoTimestamps) {
   EXPECT_DEATH(ReplayArrivals({42.0}), ">= 2 timestamps");
 }
 
+TEST(FileTraceTest, EmptyFileLoadsAsEmptyTrace) {
+  // An all-comment (or zero-byte) file is a well-formed empty trace...
+  std::stringstream comments("# recorded 2026-08-07\n# no arrivals\n\n");
+  EXPECT_TRUE(LoadArrivalTimestamps(comments).empty());
+  std::stringstream empty("");
+  EXPECT_TRUE(LoadArrivalTimestamps(empty).empty());
+}
+
+TEST(ReplayArrivalsDeathTest, EmptyTraceCannotDriveReplay) {
+  // ...but it cannot drive a replay: there is no gap to loop over, and
+  // silently producing zero-gap arrivals would melt any experiment.
+  std::stringstream empty("");
+  auto timestamps = LoadArrivalTimestamps(empty);
+  EXPECT_DEATH(MakeReplay(std::move(timestamps)), ">= 2 timestamps");
+}
+
+TEST(ReplayArrivalsTest, OutOfOrderTraceFileAbortsNotReorders) {
+  // A shuffled (out-of-order) trace file must abort at load time; replaying
+  // it as-if-sorted would fabricate a different arrival pattern.
+  std::stringstream shuffled("100.0\n300.0\n200.0\n");
+  EXPECT_DEATH((void)LoadArrivalTimestamps(shuffled), "non-monotone");
+}
+
+TEST(ReplayArrivalsTest, DuplicateTimestampsReplayAsZeroGap) {
+  // Equal adjacent timestamps are legal (two requests in the same µs) and
+  // replay as a zero inter-arrival gap, not an error.
+  ReplayArrivals replay({0.0, 100.0, 100.0, 250.0});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 100.0);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 0.0);
+  EXPECT_DOUBLE_EQ(replay.NextInterarrival(rng), 150.0);
+  EXPECT_EQ(replay.trace_length(), 3u);
+}
+
 }  // namespace
 }  // namespace trace
 }  // namespace orion

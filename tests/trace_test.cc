@@ -83,6 +83,54 @@ TEST(ArrivalsTest, ClosedLoopFlag) {
   EXPECT_DOUBLE_EQ(arrivals.NextInterarrival(rng), 0.0);
 }
 
+TEST(ArrivalsTest, ClosedLoopZeroThinkTimeConsumesNoRandomness) {
+  // Zero think time: every gap is exactly 0, no matter how often it's
+  // drawn, and the RNG stream is left untouched — a closed-loop client in a
+  // mixed fleet must not shift any open-loop client's arrival sequence.
+  ClosedLoopArrivals arrivals;
+  Rng used(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals.NextInterarrival(used), 0.0);
+  }
+  Rng fresh(9);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(used.NextU64(), fresh.NextU64());
+  }
+}
+
+TEST(ArrivalsTest, ReseedingReproducesEverySequence) {
+  // Recreating the process and the rng from the same seed must replay the
+  // identical inter-arrival sequence for every generator kind — the property
+  // the serving determinism tests lean on.
+  const auto sequence = [](ArrivalProcess& process, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<DurationUs> gaps;
+    for (int i = 0; i < 500; ++i) {
+      gaps.push_back(process.NextInterarrival(rng));
+    }
+    return gaps;
+  };
+  for (int kind = 0; kind < 3; ++kind) {
+    const auto make = [&]() -> std::unique_ptr<ArrivalProcess> {
+      switch (kind) {
+        case 0: return MakeUniform(80.0);
+        case 1: return MakePoisson(80.0);
+        default: return MakeApollo(80.0);
+      }
+    };
+    const auto a = make();
+    const auto b = make();
+    EXPECT_EQ(sequence(*a, 42), sequence(*b, 42)) << a->name();
+    // Apollo keeps burst state across draws; a fresh instance with a fresh
+    // rng of a different seed must diverge (uniform is seed-free by design).
+    if (kind != 0) {
+      const auto c = make();
+      const auto d = make();
+      EXPECT_NE(sequence(*c, 42), sequence(*d, 43)) << c->name();
+    }
+  }
+}
+
 TEST(ArrivalsTest, Factories) {
   EXPECT_NE(MakeUniform(10.0), nullptr);
   EXPECT_NE(MakePoisson(10.0), nullptr);
