@@ -16,6 +16,8 @@
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
 #include "src/harness/sm_tuner.h"
+#include "src/telemetry/exporters.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/request_rates.h"
 
 namespace orion {
@@ -33,6 +35,8 @@ struct BenchArgs {
   bool quick = false;        // --quick: ~8x shorter windows, for CI smoke runs
   std::uint64_t seed = 42;   // --seed=N: experiment seed
   double window_scale = 1.0; // --window-scale=X: multiply both windows by X
+  std::string trace_out;     // --trace-out=P: write a Chrome/Perfetto trace
+  std::string metrics_out;   // --metrics-out=P: write a metrics CSV snapshot
 };
 
 inline BenchArgs& GlobalBenchArgs() {
@@ -59,11 +63,23 @@ inline void ParseBenchArgs(int* argc, char** argv) {
         std::cerr << "--window-scale must be > 0\n";
         std::exit(2);
       }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      args.trace_out = std::string(arg.substr(12));
+    } else if (arg == "--trace-out" && i + 1 < *argc) {
+      args.trace_out = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      args.metrics_out = std::string(arg.substr(14));
+    } else if (arg == "--metrics-out" && i + 1 < *argc) {
+      args.metrics_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "Usage: " << argv[0] << " [--quick] [--seed=N] [--window-scale=X]\n"
+      std::cout << "Usage: " << argv[0]
+                << " [--quick] [--seed=N] [--window-scale=X]"
+                   " [--trace-out=P] [--metrics-out=P]\n"
                 << "  --quick           ~8x shorter measurement windows (CI smoke)\n"
                 << "  --seed=N          experiment seed (default 42)\n"
-                << "  --window-scale=X  multiply warmup+measurement windows by X\n";
+                << "  --window-scale=X  multiply warmup+measurement windows by X\n"
+                << "  --trace-out=P     write a Chrome/Perfetto trace of one run to P\n"
+                << "  --metrics-out=P   write that run's metrics snapshot as CSV to P\n";
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       argv[kept++] = argv[i];  // google-benchmark flag: leave for the caller
@@ -73,6 +89,29 @@ inline void ParseBenchArgs(int* argc, char** argv) {
     }
   }
   *argc = kept;
+}
+
+// True when --trace-out or --metrics-out was given, i.e. the bench should
+// run one arm with a telemetry hub attached.
+inline bool TelemetryRequested() {
+  const BenchArgs& args = GlobalBenchArgs();
+  return !args.trace_out.empty() || !args.metrics_out.empty();
+}
+
+// Writes the hub's trace/metrics to the --trace-out / --metrics-out paths
+// (whichever were given) and prints where they went. Call once, after the
+// instrumented run.
+inline void ExportTelemetry(telemetry::Hub& hub) {
+  const BenchArgs& args = GlobalBenchArgs();
+  if (!args.trace_out.empty()) {
+    telemetry::ExportChromeTrace(hub, args.trace_out);
+    std::cout << "wrote trace: " << args.trace_out
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (!args.metrics_out.empty()) {
+    telemetry::ExportMetricsCsv(hub.metrics(), args.metrics_out);
+    std::cout << "wrote metrics: " << args.metrics_out << "\n";
+  }
 }
 
 // Standard windows with --quick / --window-scale applied.

@@ -108,5 +108,25 @@ int main(int argc, char** argv) {
   std::cout << "\nOn the PCIe-only node the ring shares both host links with the hog's\n"
                "copies (fair-share per link direction), inflating every bucket's\n"
                "all-reduce; the NVLink ring never touches PCIe and is unaffected.\n";
+
+  // --- Instrumented arm (only with --trace-out / --metrics-out): the 4-GPU
+  // scaling run again with a telemetry hub attached. The trace holds one
+  // kernel track per GPU plus collective/fabric async spans; the metrics CSV
+  // mirrors the run's "ddp.*" counters/histograms.
+  if (bench::TelemetryRequested()) {
+    std::cout << "\n-- Telemetry arm: instrumented 4-GPU run --\n";
+    telemetry::Hub hub;
+    if (!bench::GlobalBenchArgs().trace_out.empty()) {
+      hub.EnableTracing();
+    }
+    auto config = BaseConfig(interconnect::NodeTopology::NvLinkPairs(4), 4);
+    config.telemetry = &hub;
+    const auto result = harness::RunDdpExperiment(config);
+    std::cout << "iterations: " << result.iterations
+              << "  iter_ms: " << Cell(UsToMs(result.iteration_us.mean()), 2)
+              << "  allreduce_ms: " << Cell(UsToMs(result.allreduce_us.mean()), 3)
+              << "\n";
+    bench::ExportTelemetry(hub);
+  }
   return 0;
 }

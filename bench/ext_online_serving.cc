@@ -148,6 +148,31 @@ void FailoverArm() {
   table.Print(std::cout);
 }
 
+// Instrumented arm, run only when --trace-out / --metrics-out was given:
+// one interference-aware run at 250 rps with a telemetry hub attached. The
+// summary rows below are read from the ServingResult, which RunServing
+// assembles from the hub's metric registry — so the CSV written next to the
+// trace reproduces exactly these numbers.
+void TelemetryArm() {
+  std::cout << "\n-- Telemetry arm: instrumented run (250 rps, 2 GPUs) --\n";
+  telemetry::Hub hub;
+  if (!bench::GlobalBenchArgs().trace_out.empty()) {
+    hub.EnableTracing();
+  }
+  serving::ServingConfig config = BaseConfig(250.0);
+  config.telemetry = &hub;
+  const serving::ServingResult result = serving::RunServing(config);
+  Table table({"service", "offered", "completed", "shed", "dropped",
+               "attainment", "p99 ms"});
+  for (const serving::ModelServingResult& model : result.models) {
+    table.AddRow({model.name, Cell(model.offered), Cell(model.completed),
+                  Cell(model.shed), Cell(model.dropped), Cell(model.slo_attainment),
+                  Cell(UsToMs(model.latency.p99()))});
+  }
+  table.Print(std::cout);
+  bench::ExportTelemetry(hub);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,5 +183,8 @@ int main(int argc, char** argv) {
   BatchingArm();
   AutoscalerArm();
   FailoverArm();
+  if (bench::TelemetryRequested()) {
+    TelemetryArm();
+  }
   return 0;
 }

@@ -14,13 +14,14 @@ using namespace orion;
 
 namespace {
 
-harness::ExperimentResult Run(bool collocated) {
+harness::ExperimentResult Run(bool collocated, telemetry::Hub* hub = nullptr) {
   harness::ExperimentConfig config;
   config.seed = bench::GlobalBenchArgs().seed;
   config.warmup_us = bench::WarmupWindowUs();
   config.duration_us = bench::MeasureWindowUs();
   config.scheduler =
       collocated ? harness::SchedulerKind::kOrion : harness::SchedulerKind::kDedicated;
+  config.telemetry = hub;
   config.clients.push_back(bench::InferenceClient(workloads::ModelId::kResNet50,
                                                   harness::ClientConfig::Arrivals::kUniform,
                                                   100.0, true));
@@ -53,5 +54,22 @@ int main(int argc, char** argv) {
             << Cell(UsToMs(collocated.hp().latency.p99()), 2) << " ms vs alone "
             << Cell(UsToMs(alone.hp().latency.p99()), 2) << " ms; best-effort training at "
             << Cell(bench::BeThroughput(collocated), 2) << " iters/s\n";
+
+  // Instrumented arm (only with --trace-out / --metrics-out): re-run the
+  // collocated configuration with a telemetry hub. The trace shows the kernel
+  // timeline alongside the Orion scheduler's decision markers; the CSV holds
+  // the "orion.*" scheduler counters and "harness.*" per-client metrics.
+  if (bench::TelemetryRequested()) {
+    std::cout << "\n-- Telemetry arm: instrumented collocated run --\n";
+    telemetry::Hub hub;
+    if (!bench::GlobalBenchArgs().trace_out.empty()) {
+      hub.EnableTracing();
+    }
+    const auto traced = Run(true, &hub);
+    std::cout << "hp completed: " << traced.hp().completed
+              << "  be kernels submitted: "
+              << hub.metrics().CounterValue("orion.be_kernels_submitted") << "\n";
+    bench::ExportTelemetry(hub);
+  }
   return 0;
 }

@@ -24,6 +24,24 @@ CollectiveEngine::CollectiveEngine(Simulator* sim, interconnect::Fabric* fabric)
     : sim_(sim), fabric_(fabric) {
   ORION_CHECK(sim_ != nullptr);
   ORION_CHECK(fabric_ != nullptr);
+  BindInstruments();
+}
+
+void CollectiveEngine::set_telemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  BindInstruments();
+}
+
+void CollectiveEngine::BindInstruments() {
+  telemetry::MetricRegistry& reg = hub_ != nullptr ? hub_->metrics() : local_metrics_;
+  collectives_completed_ = reg.GetCounter("collective.completed");
+  collectives_inflight_ = reg.GetGauge("collective.inflight");
+  reformations_ = reg.GetCounter("collective.reformations");
+  step_timeouts_ = reg.GetCounter("collective.step_timeouts");
+  timeout_giveups_ = reg.GetCounter("collective.timeout_giveups");
+  payload_bytes_total_ = reg.GetCounter("collective.payload_bytes");
+  trace_track_ =
+      hub_ != nullptr && hub_->tracing() ? hub_->spans().Track("collective") : -1;
 }
 
 void CollectiveEngine::BindCommStream(int gpu, gpusim::Device* device,
@@ -64,14 +82,14 @@ void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring_i
     }
   }
 
-  ++collectives_inflight_;
-  payload_bytes_total_ += static_cast<double>(bytes);
+  collectives_inflight_->Add(1.0);
+  payload_bytes_total_->Inc(static_cast<double>(bytes));
 
   const int n = static_cast<int>(ring.size());
   if (n <= 1 || bytes == 0) {
     sim_->ScheduleAfter(0.0, [this, done = std::move(done)]() mutable {
-      ++collectives_completed_;
-      --collectives_inflight_;
+      collectives_completed_->Inc();
+      collectives_inflight_->Add(-1.0);
       if (done) {
         done();
       }
@@ -84,6 +102,13 @@ void CollectiveEngine::Start(CollectiveKind kind, const std::vector<int>& ring_i
   op->ring = std::move(ring);
   op->payload_bytes = bytes;
   op->done = std::move(done);
+  if (trace_track_ >= 0) {
+    op->span_id = next_span_id_++;
+    hub_->spans().AsyncBegin(trace_track_, op->span_id, CollectiveKindName(kind),
+                             sim_->now(),
+                             {{"bytes", std::to_string(bytes)},
+                              {"world", std::to_string(n)}});
+  }
   PlanSteps(op);
   RunStep(op);
 }
@@ -186,7 +211,12 @@ void CollectiveEngine::ArmTimeout(const std::shared_ptr<RingOp>& op) {
 }
 
 void CollectiveEngine::OnStepTimeout(const std::shared_ptr<RingOp>& op) {
-  ++step_timeouts_;
+  step_timeouts_->Inc();
+  if (trace_track_ >= 0) {
+    hub_->spans().Instant(trace_track_, "step-timeout", sim_->now(),
+                          {{"step", std::to_string(op->step)},
+                           {"kind", CollectiveKindName(op->kind)}});
+  }
   std::vector<int> alive;
   std::vector<int> dead;
   for (int gpu : op->ring) {
@@ -199,7 +229,7 @@ void CollectiveEngine::OnStepTimeout(const std::shared_ptr<RingOp>& op) {
     // stall the plan never repairs).
     ++op->timeouts;
     if (op->timeouts >= options_.max_step_timeouts) {
-      ++timeout_giveups_;
+      timeout_giveups_->Inc();
       return;
     }
     ArmTimeout(op);
@@ -217,7 +247,12 @@ void CollectiveEngine::OnStepTimeout(const std::shared_ptr<RingOp>& op) {
     fabric_->CancelTransfer(id);
   }
   op->inflight.clear();
-  ++reformations_;
+  reformations_->Inc();
+  if (trace_track_ >= 0) {
+    hub_->spans().Instant(trace_track_, "ring-reformation", sim_->now(),
+                          {{"survivors", std::to_string(alive.size())},
+                           {"dead", std::to_string(dead.size())}});
+  }
   op->ring = std::move(alive);
   op->step = 0;
   op->timeouts = 0;
@@ -235,8 +270,12 @@ void CollectiveEngine::OnStepTimeout(const std::shared_ptr<RingOp>& op) {
 void CollectiveEngine::FinishCollective(const std::shared_ptr<RingOp>& op) {
   sim_->Cancel(op->timeout_event);
   op->timeout_event = EventHandle();
-  ++collectives_completed_;
-  --collectives_inflight_;
+  collectives_completed_->Inc();
+  collectives_inflight_->Add(-1.0);
+  if (op->span_id != 0 && trace_track_ >= 0) {
+    hub_->spans().AsyncEnd(trace_track_, op->span_id, CollectiveKindName(op->kind),
+                           sim_->now());
+  }
   if (op->done) {
     Callback done = std::move(op->done);
     done();

@@ -37,6 +37,7 @@
 #include "src/gpusim/device.h"
 #include "src/interconnect/fabric.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace orion {
 namespace collective {
@@ -77,6 +78,12 @@ class CollectiveEngine {
   // Fault-detection policy; set before starting collectives.
   void set_options(const CollectiveOptions& options) { options_ = options; }
   const CollectiveOptions& options() const { return options_; }
+
+  // Telemetry (src/telemetry): statistics become "collective.*" registry
+  // counters/gauges and, with tracing on, every collective is an async span
+  // on a "collective" track with instants for step timeouts and ring
+  // re-formations. Call before starting collectives.
+  void set_telemetry(telemetry::Hub* hub);
   // Invoked after each ring re-formation with the surviving ring (fires
   // before the restarted collective issues any sends, so listeners can
   // snapshot fabric byte counters).
@@ -93,17 +100,23 @@ class CollectiveEngine {
   void AllGather(const std::vector<int>& ring, std::size_t bytes, Callback done);
   void Broadcast(const std::vector<int>& ring, std::size_t bytes, Callback done);
 
-  std::size_t collectives_completed() const { return collectives_completed_; }
-  std::size_t collectives_inflight() const { return collectives_inflight_; }
-  double payload_bytes_total() const { return payload_bytes_total_; }
+  std::size_t collectives_completed() const {
+    return static_cast<std::size_t>(collectives_completed_->AsCount());
+  }
+  std::size_t collectives_inflight() const {
+    return static_cast<std::size_t>(collectives_inflight_->value());
+  }
+  double payload_bytes_total() const { return payload_bytes_total_->value(); }
 
   // --- Fault statistics. ---
   // Ring restarts after a member death.
-  std::size_t reformations() const { return reformations_; }
+  std::size_t reformations() const { return static_cast<std::size_t>(reformations_->AsCount()); }
   // Step timeouts that fired (flap waits and death detections both count).
-  std::size_t step_timeouts() const { return step_timeouts_; }
+  std::size_t step_timeouts() const { return static_cast<std::size_t>(step_timeouts_->AsCount()); }
   // Stalls where re-arming stopped after max_step_timeouts.
-  std::size_t timeout_giveups() const { return timeout_giveups_; }
+  std::size_t timeout_giveups() const {
+    return static_cast<std::size_t>(timeout_giveups_->AsCount());
+  }
   // GPUs declared dead; excluded from every subsequently started collective.
   const std::set<int>& dead_gpus() const { return dead_gpus_; }
 
@@ -132,6 +145,7 @@ class CollectiveEngine {
     std::vector<interconnect::TransferId> inflight;
     EventHandle timeout_event;
     Callback done;
+    std::uint64_t span_id = 0;  // async trace-span id (0 = tracing off)
   };
 
   void Start(CollectiveKind kind, const std::vector<int>& ring, std::size_t bytes,
@@ -149,18 +163,27 @@ class CollectiveEngine {
   void ArmTimeout(const std::shared_ptr<RingOp>& op);
   void OnStepTimeout(const std::shared_ptr<RingOp>& op);
 
+  // Binds the statistics instruments against the hub registry (private
+  // fallback registry when no hub is installed).
+  void BindInstruments();
+
   Simulator* sim_;
   interconnect::Fabric* fabric_;
   std::map<int, CommChannel> channels_;
   CollectiveOptions options_;
   ReformListener reform_listener_;
   std::set<int> dead_gpus_;
-  std::size_t collectives_completed_ = 0;
-  std::size_t collectives_inflight_ = 0;
-  std::size_t reformations_ = 0;
-  std::size_t step_timeouts_ = 0;
-  std::size_t timeout_giveups_ = 0;
-  double payload_bytes_total_ = 0.0;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::MetricRegistry local_metrics_;
+  telemetry::TrackId trace_track_ = -1;
+  std::uint64_t next_span_id_ = 1;  // async span ids for collectives
+  telemetry::Counter* collectives_completed_ = nullptr;
+  telemetry::Gauge* collectives_inflight_ = nullptr;
+  telemetry::Counter* reformations_ = nullptr;
+  telemetry::Counter* step_timeouts_ = nullptr;
+  telemetry::Counter* timeout_giveups_ = nullptr;
+  telemetry::Counter* payload_bytes_total_ = nullptr;
 };
 
 }  // namespace collective

@@ -41,11 +41,39 @@ bool ProfileCovers(const runtime::Op& op, const profiler::WorkloadProfile* profi
 
 OrionScheduler::OrionScheduler(OrionOptions options) : options_(options) {}
 
+void OrionScheduler::set_telemetry(telemetry::Hub* hub) {
+  ORION_CHECK_MSG(sim_ == nullptr, "set_telemetry must be called before Attach");
+  hub_ = hub;
+}
+
+void OrionScheduler::BindCounters() {
+  telemetry::MetricRegistry& reg = hub_ != nullptr ? hub_->metrics() : local_metrics_;
+  be_kernels_submitted_ = reg.GetCounter("orion.be_kernels_submitted");
+  be_throttle_skips_ = reg.GetCounter("orion.be_throttle_skips");
+  be_profile_skips_ = reg.GetCounter("orion.be_profile_skips");
+  clients_quarantined_ = reg.GetCounter("orion.clients_quarantined");
+  runaway_quarantines_ = reg.GetCounter("orion.runaway_quarantines");
+  be_ops_dropped_ = reg.GetCounter("orion.be_ops_dropped");
+  be_bytes_released_ = reg.GetCounter("orion.be_bytes_released");
+  if (hub_ != nullptr && hub_->tracing()) {
+    trace_track_ = hub_->spans().Track("orion-sched");
+  }
+}
+
+void OrionScheduler::MarkQuarantine(ClientId client, const char* reason) {
+  if (trace_track_ < 0) {
+    return;
+  }
+  hub_->spans().Instant(trace_track_, reason, sim_->now(),
+                        {{"client", std::to_string(client)}});
+}
+
 void OrionScheduler::Attach(Simulator* sim, runtime::GpuRuntime* rt,
                             std::vector<SchedClientInfo> clients) {
   ORION_CHECK(sim != nullptr && rt != nullptr);
   sim_ = sim;
   rt_ = rt;
+  BindCounters();
   const int hp_priority =
       options_.use_stream_priorities ? gpusim::kPriorityHigh : gpusim::kPriorityDefault;
   int hp_count = 0;
@@ -83,7 +111,7 @@ void OrionScheduler::Enqueue(ClientId client, SchedOp op) {
     if (be.id == client) {
       if (be.quarantined) {
         // Straggler op from a crashed/hung process: drop it.
-        ++be_ops_dropped_;
+        be_ops_dropped_->Inc();
         return;
       }
       be.queue.push_back(std::move(op));
@@ -109,7 +137,7 @@ void OrionScheduler::OnClientCrash(ClientId client) {
       continue;
     }
     be.quarantined = true;
-    be_ops_dropped_ += be.queue.size();
+    be_ops_dropped_->Inc(static_cast<double>(be.queue.size()));
     be.queue.clear();
     // Recredit the dead client's expected outstanding time so the
     // DUR_THRESHOLD throttle does not stay charged for kernels whose
@@ -122,8 +150,9 @@ void OrionScheduler::OnClientCrash(ClientId client) {
     be.outstanding_trusted_us = 0.0;
     const std::size_t before = rt_->memory().used();
     rt_->memory().ReleaseClient(static_cast<std::uint64_t>(client));
-    be_bytes_released_ += before - rt_->memory().used();
-    ++clients_quarantined_;
+    be_bytes_released_->Inc(static_cast<double>(before - rt_->memory().used()));
+    clients_quarantined_->Inc();
+    MarkQuarantine(client, "quarantine");
     // Surviving best-effort clients may take the recredited budget now.
     PollBestEffort();
     return;
@@ -143,6 +172,10 @@ void OrionScheduler::OnDeviceDegraded() {
         1, static_cast<int>(static_cast<double>(options_.sm_threshold) * fraction));
   } else {
     sm_threshold_ = effective;
+  }
+  if (trace_track_ >= 0) {
+    hub_->spans().Instant(trace_track_, "sm-retune", sim_->now(),
+                          {{"sm_threshold", std::to_string(sm_threshold_)}});
   }
 }
 
@@ -231,14 +264,14 @@ void OrionScheduler::PollBestEffort() {
         if (be_submitted_ == nullptr || be_submitted_->done) {
           be_duration_ = 0.0;
         } else {
-          ++be_throttle_skips_;
+          be_throttle_skips_->Inc();
           ArmWatchdog();
           continue;
         }
       }
 
       if (!ScheduleBe(head.op, be)) {
-        ++be_profile_skips_;
+        be_profile_skips_->Inc();
         continue;
       }
 
@@ -253,7 +286,7 @@ void OrionScheduler::PollBestEffort() {
 }
 
 void OrionScheduler::SubmitBe(BeClient& be, SchedOp op) {
-  ++be_kernels_submitted_;
+  be_kernels_submitted_->Inc();
   const double expected =
       ViewOf(op.op, be.profile, rt_->device().spec(), options_.conservative_profile_miss)
           .duration_us;
@@ -334,7 +367,8 @@ void OrionScheduler::ArmWatchdog() {
     // and reset the throttle so surviving best-effort clients stop waiting
     // on an event that may never resolve in useful time. The runaway kernel
     // itself runs out on the device (no preemption).
-    ++runaway_quarantines_;
+    runaway_quarantines_->Inc();
+    MarkQuarantine(be_submitted_client_, "runaway-quarantine");
     const ClientId owner = be_submitted_client_;
     be_submitted_ = nullptr;
     be_submitted_client_ = -1;

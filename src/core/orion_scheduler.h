@@ -30,6 +30,7 @@
 
 #include "src/core/scheduler.h"
 #include "src/gpusim/kernel.h"
+#include "src/telemetry/telemetry.h"
 
 namespace orion {
 namespace core {
@@ -86,16 +87,23 @@ class OrionScheduler : public Scheduler {
   int sm_threshold() const { return sm_threshold_; }
   void set_sm_threshold(int threshold) { sm_threshold_ = threshold; }
 
-  // Statistics for the overhead/ablation benches.
-  std::size_t be_kernels_submitted() const { return be_kernels_submitted_; }
-  std::size_t be_throttle_skips() const { return be_throttle_skips_; }
-  std::size_t be_profile_skips() const { return be_profile_skips_; }
+  // Telemetry (src/telemetry): decision statistics live in the hub's metric
+  // registry as "orion.*" counters (a private registry when no hub is
+  // installed) and, with tracing enabled, gating decisions and quarantines
+  // become instant events on an "orion-sched" track. Call before Attach.
+  void set_telemetry(telemetry::Hub* hub) override;
+
+  // Statistics for the overhead/ablation benches. These read the registry
+  // counters — the registry is the single source of truth, not a mirror.
+  std::size_t be_kernels_submitted() const { return CounterCount(be_kernels_submitted_); }
+  std::size_t be_throttle_skips() const { return CounterCount(be_throttle_skips_); }
+  std::size_t be_profile_skips() const { return CounterCount(be_profile_skips_); }
 
   // --- Fault statistics. ---
-  std::size_t clients_quarantined() const { return clients_quarantined_; }
-  std::size_t runaway_quarantines() const { return runaway_quarantines_; }
-  std::size_t be_ops_dropped() const { return be_ops_dropped_; }
-  std::size_t be_bytes_released() const { return be_bytes_released_; }
+  std::size_t clients_quarantined() const { return CounterCount(clients_quarantined_); }
+  std::size_t runaway_quarantines() const { return CounterCount(runaway_quarantines_); }
+  std::size_t be_ops_dropped() const { return CounterCount(be_ops_dropped_); }
+  std::size_t be_bytes_released() const { return CounterCount(be_bytes_released_); }
   bool client_quarantined(ClientId client) const;
 
  private:
@@ -147,13 +155,25 @@ class OrionScheduler : public Scheduler {
   bool watchdog_armed_ = false;
 
   int sm_threshold_ = 0;
-  std::size_t be_kernels_submitted_ = 0;
-  std::size_t be_throttle_skips_ = 0;
-  std::size_t be_profile_skips_ = 0;
-  std::size_t clients_quarantined_ = 0;
-  std::size_t runaway_quarantines_ = 0;
-  std::size_t be_ops_dropped_ = 0;
-  std::size_t be_bytes_released_ = 0;
+
+  // Telemetry. Counters are bound in Attach against the hub registry (or the
+  // private fallback when no hub is installed); null before Attach.
+  static std::size_t CounterCount(const telemetry::Counter* c) {
+    return c ? static_cast<std::size_t>(c->AsCount()) : 0;
+  }
+  void BindCounters();
+  void MarkQuarantine(ClientId client, const char* reason);
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::MetricRegistry local_metrics_;
+  telemetry::TrackId trace_track_ = -1;
+  telemetry::Counter* be_kernels_submitted_ = nullptr;
+  telemetry::Counter* be_throttle_skips_ = nullptr;
+  telemetry::Counter* be_profile_skips_ = nullptr;
+  telemetry::Counter* clients_quarantined_ = nullptr;
+  telemetry::Counter* runaway_quarantines_ = nullptr;
+  telemetry::Counter* be_ops_dropped_ = nullptr;
+  telemetry::Counter* be_bytes_released_ = nullptr;
 };
 
 }  // namespace core

@@ -20,6 +20,10 @@
 #include "src/sim/simulator.h"
 
 namespace orion {
+namespace telemetry {
+class Hub;
+}  // namespace telemetry
+
 namespace core {
 
 using ClientId = int;
@@ -64,6 +68,12 @@ class Scheduler {
 
   // Interception entry point: `client`'s framework issued a GPU op.
   virtual void Enqueue(ClientId client, SchedOp op) = 0;
+
+  // Optional telemetry sink (src/telemetry): policies that keep decision
+  // statistics publish them as registry counters and, when tracing is
+  // enabled, emit span/instant events for their scheduling decisions. Call
+  // before Attach. Default: no telemetry.
+  virtual void set_telemetry(telemetry::Hub* hub) { (void)hub; }
 
   // --- Fault hooks (src/fault). Default: ignore. ---
   // `client`'s process died. Policies that buffer per-client queues should

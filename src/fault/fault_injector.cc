@@ -1,6 +1,7 @@
 #include "src/fault/fault_injector.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -12,6 +13,47 @@ namespace fault {
 FaultInjector::FaultInjector(Simulator* sim, FaultPlan plan)
     : sim_(sim), plan_(std::move(plan)) {
   ORION_CHECK(sim_ != nullptr);
+  BindInstruments();
+}
+
+void FaultInjector::set_telemetry(telemetry::Hub* hub) {
+  ORION_CHECK_MSG(!armed_, "set_telemetry must be called before Arm");
+  hub_ = hub;
+  BindInstruments();
+}
+
+void FaultInjector::BindInstruments() {
+  telemetry::MetricRegistry& reg = hub_ != nullptr ? hub_->metrics() : local_metrics_;
+  injected_ = reg.GetCounter("fault.injected");
+  skipped_ = reg.GetCounter("fault.skipped");
+  trace_track_ = hub_ != nullptr && hub_->tracing() ? hub_->spans().Track("faults") : -1;
+}
+
+void FaultInjector::MarkFault(const FaultEvent& event) {
+  injected_->Inc();
+  if (trace_track_ < 0) {
+    return;
+  }
+  telemetry::Labels args;
+  switch (event.kind) {
+    case FaultKind::kDeviceDegrade:
+    case FaultKind::kGpuDown:
+      args.emplace_back("gpu", std::to_string(event.gpu));
+      break;
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkDown:
+      args.emplace_back("link", std::to_string(event.link));
+      break;
+    case FaultKind::kClientCrash:
+    case FaultKind::kClientHang:
+      args.emplace_back("client", std::to_string(event.client));
+      break;
+    case FaultKind::kProfilePoison:
+      args.emplace_back("drop_fraction", std::to_string(event.drop_fraction));
+      break;
+  }
+  hub_->spans().Instant(trace_track_, FaultKindName(event.kind), sim_->now(),
+                        std::move(args));
 }
 
 void FaultInjector::RegisterDevice(int gpu, gpusim::Device* device) {
@@ -75,7 +117,7 @@ void FaultInjector::Apply(const FaultEvent& event) {
 void FaultInjector::ApplyDeviceDegrade(const FaultEvent& event) {
   const auto it = devices_.find(event.gpu);
   if (it == devices_.end()) {
-    ++skipped_;
+    skipped_->Inc();
     return;
   }
   if (event.sms_lost > 0) {
@@ -89,7 +131,7 @@ void FaultInjector::ApplyDeviceDegrade(const FaultEvent& event) {
   for (core::Scheduler* scheduler : schedulers_) {
     scheduler->OnDeviceDegraded();
   }
-  ++injected_;
+  MarkFault(event);
 }
 
 void FaultInjector::SetLinkFactor(int link, LinkDir dir, double factor) {
@@ -105,7 +147,7 @@ void FaultInjector::ApplyLinkFault(const FaultEvent& event) {
   if (fabric_ == nullptr ||
       event.link < 0 ||
       event.link >= static_cast<int>(fabric_->topology().links().size())) {
-    ++skipped_;
+    skipped_->Inc();
     return;
   }
   const double factor = event.kind == FaultKind::kLinkDown ? 0.0 : event.factor;
@@ -117,13 +159,13 @@ void FaultInjector::ApplyLinkFault(const FaultEvent& event) {
     sim_->ScheduleAfter(event.duration_us,
                         [this, link, dir]() { SetLinkFactor(link, dir, 1.0); });
   }
-  ++injected_;
+  MarkFault(event);
 }
 
 void FaultInjector::ApplyGpuDown(const FaultEvent& event) {
   if (fabric_ == nullptr || event.gpu < 0 ||
       event.gpu >= fabric_->topology().num_gpus()) {
-    ++skipped_;
+    skipped_->Inc();
     return;
   }
   // The GPU fell off the bus: every link touching it goes down, both
@@ -134,12 +176,12 @@ void FaultInjector::ApplyGpuDown(const FaultEvent& event) {
       SetLinkFactor(link.id, LinkDir::kBoth, 0.0);
     }
   }
-  ++injected_;
+  MarkFault(event);
 }
 
 void FaultInjector::ApplyClientFault(const FaultEvent& event) {
   if (!client_handler_) {
-    ++skipped_;
+    skipped_->Inc();
     return;
   }
   // Driver-side first (a hang submits its runaway kernel through the live
@@ -152,12 +194,12 @@ void FaultInjector::ApplyClientFault(const FaultEvent& event) {
       scheduler->OnClientCrash(event.client);
     }
   }
-  ++injected_;
+  MarkFault(event);
 }
 
 void FaultInjector::ApplyProfilePoison(const FaultEvent& event) {
   if (profiles_.empty()) {
-    ++skipped_;
+    skipped_->Inc();
     return;
   }
   std::uint64_t stream = 0;
@@ -175,7 +217,7 @@ void FaultInjector::ApplyProfilePoison(const FaultEvent& event) {
     profile->kernels = std::move(kept);
     profile->RebuildIndex();
   }
-  ++injected_;
+  MarkFault(event);
 }
 
 }  // namespace fault

@@ -24,6 +24,7 @@
 #include "src/interconnect/fabric.h"
 #include "src/profiler/profiler.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace orion {
 namespace fault {
@@ -49,13 +50,19 @@ class FaultInjector {
   void RegisterProfile(profiler::WorkloadProfile* profile);
   void set_client_fault_handler(ClientFaultHandler handler);
 
+  // Telemetry (src/telemetry): injected/skipped become "fault.*" registry
+  // counters and, with tracing on, every applied fault is an instant marker
+  // on a "faults" track (named by FaultKindName, with the target as args).
+  // Call before Arm.
+  void set_telemetry(telemetry::Hub* hub);
+
   // Schedules every plan event. Call exactly once, after registration and
   // before running the simulator.
   void Arm();
 
   const FaultPlan& plan() const { return plan_; }
-  std::size_t injected() const { return injected_; }
-  std::size_t skipped() const { return skipped_; }
+  std::size_t injected() const { return CounterCount(injected_); }
+  std::size_t skipped() const { return CounterCount(skipped_); }
 
  private:
   void Apply(const FaultEvent& event);
@@ -75,8 +82,18 @@ class FaultInjector {
   std::vector<profiler::WorkloadProfile*> profiles_;
   ClientFaultHandler client_handler_;
   bool armed_ = false;
-  std::size_t injected_ = 0;
-  std::size_t skipped_ = 0;
+
+  static std::size_t CounterCount(const telemetry::Counter* c) {
+    return c ? static_cast<std::size_t>(c->AsCount()) : 0;
+  }
+  void BindInstruments();
+  void MarkFault(const FaultEvent& event);
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::MetricRegistry local_metrics_;
+  telemetry::TrackId trace_track_ = -1;
+  telemetry::Counter* injected_ = nullptr;
+  telemetry::Counter* skipped_ = nullptr;
 };
 
 }  // namespace fault

@@ -1,6 +1,9 @@
 #include "src/gpusim/trace_export.h"
 
+#include <cstdio>
 #include <ostream>
+
+#include "src/common/check.h"
 
 namespace orion {
 namespace gpusim {
@@ -39,32 +42,75 @@ void WriteJsonString(std::ostream& os, const std::string& value) {
 
 }  // namespace
 
-void TraceCollector::RecordInto(Device& device, const std::string& track_name) {
-  track_name_ = track_name;
-  device.set_kernel_trace_sink(
-      [this](const KernelExecRecord& record) { records_.push_back(record); });
+int TraceCollector::AddTrack(const std::string& track_name) {
+  const int track = static_cast<int>(track_names_.size());
+  track_names_.push_back(track_name.empty() ? "gpu" + std::to_string(track) : track_name);
+  return track;
+}
+
+int TraceCollector::RecordInto(Device& device, const std::string& track_name) {
+  const int track = AddTrack(track_name);
+  device.set_kernel_trace_sink([this, track](const KernelExecRecord& record) {
+    entries_.push_back(Entry{track, record});
+  });
+  return track;
+}
+
+void TraceCollector::AddRecord(int track, KernelExecRecord record) {
+  ORION_CHECK(track >= 0 && track < static_cast<int>(track_names_.size()));
+  entries_.push_back(Entry{track, std::move(record)});
+}
+
+std::vector<KernelExecRecord> TraceCollector::TrackRecords(int track) const {
+  std::vector<KernelExecRecord> records;
+  for (const Entry& entry : entries_) {
+    if (entry.track == track) {
+      records.push_back(entry.record);
+    }
+  }
+  return records;
+}
+
+std::size_t TraceCollector::WriteChromeTraceEvents(std::ostream& os, int pid_base,
+                                                   bool* first) const {
+  std::size_t written = 0;
+  for (std::size_t track = 0; track < track_names_.size(); ++track) {
+    if (!*first) {
+      os << ",";
+    }
+    *first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+       << pid_base + static_cast<int>(track) << ",\"args\":{\"name\":";
+    WriteJsonString(os, track_names_[track]);
+    os << "}}";
+    ++written;
+  }
+  for (const Entry& entry : entries_) {
+    const KernelExecRecord& record = entry.record;
+    if (!*first) {
+      os << ",";
+    }
+    *first = false;
+    os << "\n{\"name\":";
+    WriteJsonString(os, record.name);
+    os << ",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << record.start
+       << ",\"dur\":" << (record.end - record.start) << ",\"pid\":" << pid_base + entry.track
+       << ",\"tid\":" << record.stream << ",\"args\":{\"kernel_id\":" << record.kernel_id
+       << ",\"sm_needed\":" << record.sm_needed << "}}";
+    ++written;
+  }
+  return written;
 }
 
 void TraceCollector::WriteChromeTrace(std::ostream& os) const {
   os << "[";
   bool first = true;
-  // Track-name metadata event.
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":";
-  WriteJsonString(os, track_name_);
-  os << "}}";
-  first = false;
-  for (const KernelExecRecord& record : records_) {
-    if (!first) {
-      os << ",";
-    }
+  if (track_names_.empty()) {
+    // Legacy shape: an empty collector still emits a (single) track header.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"gpu\"}}";
     first = false;
-    os << "\n{\"name\":";
-    WriteJsonString(os, record.name);
-    os << ",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << record.start
-       << ",\"dur\":" << (record.end - record.start) << ",\"pid\":0,\"tid\":" << record.stream
-       << ",\"args\":{\"kernel_id\":" << record.kernel_id
-       << ",\"sm_needed\":" << record.sm_needed << "}}";
   }
+  WriteChromeTraceEvents(os, /*pid_base=*/0, &first);
   os << "\n]\n";
 }
 

@@ -14,26 +14,52 @@
 namespace orion {
 namespace gpusim {
 
-// Collects execution records from a device (install via RecordInto) and
-// serialises them in the Chrome trace-event JSON array format.
+// Collects execution records from any number of devices (one track each,
+// install via RecordInto) and serialises them in the Chrome trace-event JSON
+// array format: one Chrome "process" per device track, one "thread" per
+// stream. A multi-GPU run therefore exports a single merged trace instead of
+// one file per device.
 class TraceCollector {
  public:
-  // Installs this collector as the device's kernel trace sink. Only one sink
-  // can be active per device; the collector must outlive the device's use.
-  void RecordInto(Device& device, const std::string& track_name = "gpu");
+  // Installs this collector as `device`'s kernel trace sink, adding a track.
+  // An empty name defaults to "gpu<track index>". May be called once per
+  // device for any number of devices; the collector must outlive the
+  // devices' use. Returns the track index.
+  int RecordInto(Device& device, const std::string& track_name = "");
 
-  const std::vector<KernelExecRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
-  void Clear() { records_.clear(); }
+  // Adds an empty track without a device (records appended via AddRecord) —
+  // used by exporters/tests that merge externally collected records.
+  int AddTrack(const std::string& track_name);
+  void AddRecord(int track, KernelExecRecord record);
+
+  const std::vector<std::string>& track_names() const { return track_names_; }
+
+  // One collected record with the track it belongs to, in completion order
+  // across all devices (the simulator's deterministic event order).
+  struct Entry {
+    int track = 0;
+    KernelExecRecord record;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  // Records of one track, in completion order.
+  std::vector<KernelExecRecord> TrackRecords(int track) const;
 
   // Chrome trace-event format: a JSON array of {"name","ph":"X","ts","dur",
-  // "pid","tid"} events, timestamps in µs. Loadable by chrome://tracing and
-  // https://ui.perfetto.dev.
+  // "pid","tid"} events, timestamps in µs, one pid per track (offset by
+  // `pid_base`). Loadable by chrome://tracing and https://ui.perfetto.dev.
   void WriteChromeTrace(std::ostream& os) const;
 
+  // Emits the same events without the surrounding "[" / "]" so other
+  // exporters (src/telemetry) can merge kernel tracks into a larger trace.
+  // Returns the number of events written; `first` tracks comma placement.
+  std::size_t WriteChromeTraceEvents(std::ostream& os, int pid_base, bool* first) const;
+
  private:
-  std::string track_name_ = "gpu";
-  std::vector<KernelExecRecord> records_;
+  std::vector<std::string> track_names_;
+  std::vector<Entry> entries_;
 };
 
 }  // namespace gpusim

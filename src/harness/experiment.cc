@@ -166,7 +166,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       const ClientConfig& cc = config.clients[static_cast<std::size_t>(i)];
       auto rt = std::make_unique<runtime::GpuRuntime>(&sim, per_client);
       rt->device().set_pcie_priority_scheduling(config.pcie_priority_scheduling);
+      if (config.telemetry != nullptr && config.telemetry->tracing()) {
+        config.telemetry->kernels().RecordInto(rt->device(), "gpu" + std::to_string(i));
+      }
       auto sched = MakeScheduler(config.scheduler, config.orion);
+      sched->set_telemetry(config.telemetry);
       core::SchedClientInfo info;
       info.id = i;
       info.name = workloads::WorkloadName(cc.workload);
@@ -182,7 +186,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   } else {
     auto rt = std::make_unique<runtime::GpuRuntime>(&sim, config.device);
     rt->device().set_pcie_priority_scheduling(config.pcie_priority_scheduling);
+    if (config.telemetry != nullptr && config.telemetry->tracing()) {
+      config.telemetry->kernels().RecordInto(rt->device(), "gpu0");
+    }
     auto sched = MakeScheduler(config.scheduler, config.orion);
+    sched->set_telemetry(config.telemetry);
     std::vector<core::SchedClientInfo> infos;
     for (int i = 0; i < num_clients; ++i) {
       const ClientConfig& cc = config.clients[static_cast<std::size_t>(i)];
@@ -209,6 +217,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::unique_ptr<fault::FaultInjector> injector;
   if (!config.fault_plan.empty()) {
     injector = std::make_unique<fault::FaultInjector>(&sim, config.fault_plan);
+    injector->set_telemetry(config.telemetry);
     for (std::size_t i = 0; i < runtimes.size(); ++i) {
       injector->RegisterDevice(static_cast<int>(i), &runtimes[i]->device());
     }
@@ -283,6 +292,36 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       result.clients_quarantined += orion->clients_quarantined();
       result.runaway_quarantines += orion->runaway_quarantines();
     }
+  }
+
+  // Mirror the result into the hub registry so an exported CSV snapshot
+  // reproduces the harness's numbers (latency samples feed histograms so the
+  // snapshot carries window percentiles too).
+  if (config.telemetry != nullptr) {
+    telemetry::MetricRegistry& reg = config.telemetry->metrics();
+    for (std::size_t c = 0; c < result.clients.size(); ++c) {
+      const ClientResult& cr = result.clients[c];
+      // Collocations of one model against itself are common (hp + be copies
+      // of the same workload): suffix duplicates so clients never merge.
+      std::string label = cr.name;
+      for (std::size_t prev = 0; prev < c; ++prev) {
+        if (result.clients[prev].name == cr.name) {
+          label += "#" + std::to_string(c);
+          break;
+        }
+      }
+      const telemetry::Labels by_client = {{"client", label}};
+      reg.GetCounter("harness.completed", by_client)
+          ->Inc(static_cast<double>(cr.completed));
+      reg.GetGauge("harness.throughput_rps", by_client)->Set(cr.throughput_rps);
+      telemetry::Histogram* latency = reg.GetHistogram("harness.latency_us", by_client);
+      for (const double sample : cr.latency.samples()) {
+        latency->Add(sample);
+      }
+    }
+    reg.GetGauge("harness.util_compute")->Set(result.utilization.compute);
+    reg.GetGauge("harness.util_membw")->Set(result.utilization.membw);
+    reg.GetGauge("harness.util_sm_busy")->Set(result.utilization.sm_busy);
   }
   return result;
 }

@@ -19,6 +19,7 @@
 #include "src/gpusim/utilization.h"
 #include "src/harness/client_driver.h"
 #include "src/profiler/profiler.h"
+#include "src/telemetry/telemetry.h"
 
 namespace orion {
 namespace harness {
@@ -58,6 +59,13 @@ struct ExperimentConfig {
   // index config.clients; device faults target the shared device (gpu 0) or,
   // for Ideal/MIG, the per-client device with that index. Empty = fault-free.
   fault::FaultPlan fault_plan;
+
+  // Optional telemetry sink (src/telemetry). When set, the scheduler and
+  // fault injector publish their counters into the hub registry, per-client
+  // results are mirrored as "harness.*" metrics, and with tracing enabled
+  // every device's kernel execution records are collected into the hub's
+  // trace (one track per device) alongside the scheduler's decision markers.
+  telemetry::Hub* telemetry = nullptr;
 };
 
 struct ClientResult {

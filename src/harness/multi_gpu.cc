@@ -270,14 +270,19 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
 
   Simulator sim;
   interconnect::Fabric fabric(&sim, config.topology);
+  fabric.set_telemetry(config.telemetry);
   collective::CollectiveEngine engine(&sim, &fabric);
   engine.set_options(config.collective);
+  engine.set_telemetry(config.telemetry);
 
   // One runtime per topology GPU, all copy engines on the shared fabric.
   std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
   for (int gpu = 0; gpu < topo_gpus; ++gpu) {
     auto rt = std::make_unique<runtime::GpuRuntime>(&sim, config.device);
     rt->device().AttachHostLink(&fabric, gpu);
+    if (config.telemetry != nullptr && config.telemetry->tracing()) {
+      config.telemetry->kernels().RecordInto(rt->device(), "gpu" + std::to_string(gpu));
+    }
     runtimes.push_back(std::move(rt));
   }
 
@@ -313,6 +318,7 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
   std::unique_ptr<fault::FaultInjector> injector;
   if (!config.fault_plan.empty()) {
     injector = std::make_unique<fault::FaultInjector>(&sim, config.fault_plan);
+    injector->set_telemetry(config.telemetry);
     for (int gpu = 0; gpu < topo_gpus; ++gpu) {
       injector->RegisterDevice(gpu, &runtimes[static_cast<std::size_t>(gpu)]->device());
     }
@@ -355,6 +361,30 @@ MultiGpuResult RunDdpExperiment(const MultiGpuConfig& config) {
     traffic.forward_bytes = fabric.BytesMoved(link.id, true);
     traffic.backward_bytes = fabric.BytesMoved(link.id, false);
     result.link_traffic.push_back(std::move(traffic));
+  }
+
+  // Mirror the run's headline numbers into the hub registry so an exported
+  // CSV snapshot reproduces what the bench prints.
+  if (config.telemetry != nullptr) {
+    telemetry::MetricRegistry& reg = config.telemetry->metrics();
+    reg.GetCounter("ddp.iterations")->Inc(static_cast<double>(result.iterations));
+    reg.GetCounter("ddp.hog_copies")->Inc(static_cast<double>(result.hog_copies));
+    reg.GetGauge("ddp.total_us")->Set(result.total_us);
+    reg.GetGauge("ddp.final_world_size")
+        ->Set(static_cast<double>(result.final_world_size));
+    telemetry::Histogram* iteration = reg.GetHistogram("ddp.iteration_us");
+    for (const double sample : result.iteration_us.samples()) {
+      iteration->Add(sample);
+    }
+    telemetry::Histogram* allreduce = reg.GetHistogram("ddp.allreduce_us");
+    for (const double sample : result.allreduce_us.samples()) {
+      allreduce->Add(sample);
+    }
+    for (const LinkTraffic& traffic : result.link_traffic) {
+      const telemetry::Labels by_link = {{"link", traffic.name}};
+      reg.GetCounter("ddp.link_forward_bytes", by_link)->Inc(traffic.forward_bytes);
+      reg.GetCounter("ddp.link_backward_bytes", by_link)->Inc(traffic.backward_bytes);
+    }
   }
   return result;
 }

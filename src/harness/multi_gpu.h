@@ -23,6 +23,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/gpusim/device_spec.h"
 #include "src/interconnect/topology.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/ddp.h"
 
 namespace orion {
@@ -58,6 +59,13 @@ struct MultiGpuConfig {
   // GPU deaths target the fabric, device degradation targets the GPU with
   // the event's index. Empty = fault-free.
   fault::FaultPlan fault_plan;
+
+  // Optional telemetry sink (src/telemetry). When set, the collective
+  // engine, fabric and fault injector publish their counters into the hub
+  // registry and the run's results are mirrored as "ddp.*" metrics; with
+  // tracing enabled every device's kernel records are collected (one track
+  // per device) next to collective/fabric async spans and fault markers.
+  telemetry::Hub* telemetry = nullptr;
 };
 
 struct LinkTraffic {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -26,6 +27,27 @@ Fabric::Fabric(Simulator* sim, NodeTopology topology)
   last_update_ = sim_->now();
 }
 
+namespace {
+
+std::string NodeName(int node) {
+  return node == kHostNode ? "host" : std::to_string(node);
+}
+
+}  // namespace
+
+void Fabric::set_telemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    trace_track_ = -1;
+    transfers_started_metric_ = nullptr;
+    bytes_requested_metric_ = nullptr;
+    return;
+  }
+  transfers_started_metric_ = hub_->metrics().GetCounter("fabric.transfers_started");
+  bytes_requested_metric_ = hub_->metrics().GetCounter("fabric.bytes_requested");
+  trace_track_ = hub_->tracing() ? hub_->spans().Track("fabric") : -1;
+}
+
 TransferId Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback done) {
   Transfer transfer;
   const TransferId id = next_seq_++;
@@ -33,6 +55,23 @@ TransferId Fabric::StartTransfer(int src, int dst, std::size_t bytes, Callback d
   transfer.route = topology_.Route(src, dst);
   transfer.remaining = static_cast<double>(bytes);
   transfer.done = std::move(done);
+  if (transfers_started_metric_ != nullptr) {
+    transfers_started_metric_->Inc();
+    bytes_requested_metric_->Inc(static_cast<double>(bytes));
+  }
+  if (trace_track_ >= 0) {
+    const std::string span_name = NodeName(src) + "->" + NodeName(dst);
+    hub_->spans().AsyncBegin(trace_track_, id, span_name, sim_->now(),
+                             {{"bytes", std::to_string(bytes)}});
+    // Wrapping the completion hook covers both outcomes: normal completion
+    // and CancelTransfer (which still fires `done`).
+    transfer.done = [this, id, span_name, done = std::move(transfer.done)]() {
+      hub_->spans().AsyncEnd(trace_track_, id, span_name, sim_->now());
+      if (done) {
+        done();
+      }
+    };
+  }
 
   DurationUs latency = 0.0;
   for (const Hop& hop : transfer.route) {

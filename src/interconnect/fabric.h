@@ -32,6 +32,7 @@
 #include "src/gpusim/host_link.h"
 #include "src/interconnect/topology.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace orion {
 namespace interconnect {
@@ -50,6 +51,12 @@ class Fabric : public gpusim::HostLinkModel {
 
   const NodeTopology& topology() const { return topology_; }
   Simulator* simulator() { return sim_; }
+
+  // Telemetry (src/telemetry): transfer statistics become "fabric.*" registry
+  // counters and, with tracing on, every transfer (host copies included) is
+  // an async span on a "fabric" track named "src->dst" with its byte count.
+  // Call before starting transfers.
+  void set_telemetry(telemetry::Hub* hub);
 
   // Starts an asynchronous transfer of `bytes` from node `src` to node `dst`
   // (kHostNode for host memory). `done` fires via a simulator event once the
@@ -125,6 +132,11 @@ class Fabric : public gpusim::HostLinkModel {
   std::set<TransferId> cancelled_pending_;  // cancelled while in setup
   std::size_t transfers_completed_ = 0;
   std::size_t transfers_cancelled_ = 0;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::TrackId trace_track_ = -1;
+  telemetry::Counter* transfers_started_metric_ = nullptr;
+  telemetry::Counter* bytes_requested_metric_ = nullptr;
 };
 
 }  // namespace interconnect

@@ -56,6 +56,7 @@ class ServingEngine {
                          config.launch_overhead_us),
           MakeArrivals(cfg.arrivals, cfg.rps), root.Fork(m)));
     }
+    BindTelemetry();
   }
 
   ServingResult Run() {
@@ -116,30 +117,99 @@ class ServingEngine {
     std::deque<Request> limbo;
     std::vector<int> replicas;  // every replica id ever created
 
+    // Service label for metrics and trace tracks: the workload name, with a
+    // "#<index>" suffix when two services share a workload.
+    std::string label;
+    telemetry::TrackId track = -1;  // per-request span track; -1 = tracing off
+
+    // All counters are registry instruments labeled {service=label}, bound
+    // in BindTelemetry — the registry is the source of truth the
+    // ServingResult is assembled from, so an exported CSV snapshot
+    // reproduces the run's printed numbers exactly.
+
     // Whole-run counters (accounting identity).
-    std::size_t total_offered = 0;
-    std::size_t total_completed = 0;
-    std::size_t total_shed = 0;
-    std::size_t total_dropped = 0;
+    telemetry::Counter* total_offered = nullptr;
+    telemetry::Counter* total_completed = nullptr;
+    telemetry::Counter* total_shed = nullptr;
+    telemetry::Counter* total_dropped = nullptr;
 
     // Measurement-window counters.
-    std::size_t offered = 0;
-    std::size_t completed = 0;
-    std::size_t slo_met = 0;
-    std::size_t shed = 0;
-    std::size_t dropped = 0;
-    std::size_t failed_over = 0;
-    std::size_t batches = 0;
-    std::size_t batched_requests = 0;
-    LatencyRecorder latency;
-    LatencyRecorder queueing;
+    telemetry::Counter* offered = nullptr;
+    telemetry::Counter* completed = nullptr;
+    telemetry::Counter* slo_met = nullptr;
+    telemetry::Counter* shed = nullptr;
+    telemetry::Counter* dropped = nullptr;
+    telemetry::Counter* failed_over = nullptr;
+    telemetry::Counter* batches = nullptr;
+    telemetry::Counter* batched_requests = nullptr;
+    telemetry::Histogram* latency = nullptr;   // e2e µs, window only
+    telemetry::Histogram* queueing = nullptr;  // arrival → service start
 
-    // Autoscaler evaluation-window counters.
+    // Autoscaler evaluation-window counters (reset every eval period, so
+    // they stay plain fields rather than monotonic registry counters).
     std::size_t w_arrivals = 0;
     std::size_t w_completions = 0;
     std::size_t w_slo_met = 0;
     std::size_t w_shed = 0;
   };
+
+  // Binds every instrument against the hub registry (a private registry
+  // when no hub is configured) and registers the trace tracks.
+  void BindTelemetry() {
+    hub_ = config_.telemetry;
+    metrics_ = hub_ != nullptr ? &hub_->metrics() : &local_metrics_;
+    const bool tracing = hub_ != nullptr && hub_->tracing();
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      ModelState& model = *models_[m];
+      model.label = workloads::WorkloadName(model.cfg.workload);
+      for (std::size_t prev = 0; prev < m; ++prev) {
+        if (models_[prev]->label == model.label) {
+          model.label += "#" + std::to_string(m);
+          break;
+        }
+      }
+      const telemetry::Labels by_service = {{"service", model.label}};
+      model.total_offered = metrics_->GetCounter("serving.offered_total", by_service);
+      model.total_completed = metrics_->GetCounter("serving.completed_total", by_service);
+      model.total_shed = metrics_->GetCounter("serving.shed_total", by_service);
+      model.total_dropped = metrics_->GetCounter("serving.dropped_total", by_service);
+      model.offered = metrics_->GetCounter("serving.offered", by_service);
+      model.completed = metrics_->GetCounter("serving.completed", by_service);
+      model.slo_met = metrics_->GetCounter("serving.slo_met", by_service);
+      model.shed = metrics_->GetCounter("serving.shed", by_service);
+      model.dropped = metrics_->GetCounter("serving.dropped", by_service);
+      model.failed_over = metrics_->GetCounter("serving.failed_over", by_service);
+      model.batches = metrics_->GetCounter("serving.batches", by_service);
+      model.batched_requests = metrics_->GetCounter("serving.batched_requests", by_service);
+      model.latency = metrics_->GetHistogram("serving.latency_us", by_service);
+      model.queueing = metrics_->GetHistogram("serving.queueing_us", by_service);
+      if (tracing) {
+        model.track = hub_->spans().Track("service:" + model.label);
+      }
+    }
+    scale_ups_ = metrics_->GetCounter("serving.scale_ups");
+    scale_downs_ = metrics_->GetCounter("serving.scale_downs");
+    scale_failures_ = metrics_->GetCounter("serving.scale_failures");
+    faults_injected_ = metrics_->GetCounter("serving.faults_injected");
+    faults_skipped_ = metrics_->GetCounter("serving.faults_skipped");
+    replicas_lost_ = metrics_->GetCounter("serving.replicas_lost");
+    replacements_ = metrics_->GetCounter("serving.replacements");
+    replacement_failures_ = metrics_->GetCounter("serving.replacement_failures");
+    replica_seconds_ = metrics_->GetCounter("serving.replica_seconds");
+    if (tracing) {
+      control_track_ = hub_->spans().Track("serving-control");
+      gpu_tracks_.reserve(gpus_.size());
+      for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        gpu_tracks_.push_back(hub_->spans().Track("gpu" + std::to_string(g)));
+      }
+    }
+  }
+
+  void Mark(const std::string& name, telemetry::Labels args) {
+    if (control_track_ >= 0) {
+      hub_->spans().Instant(control_track_, name, sim_.now(), std::move(args));
+    }
+  }
 
   bool InWindow(TimeUs t) const { return t >= config_.warmup_us && t <= horizon_; }
 
@@ -162,10 +232,10 @@ class ServingEngine {
     request.model = static_cast<int>(m);
     request.arrival_us = now;
     request.deadline_us = now + model.cfg.slo_us;
-    ++model.total_offered;
+    model.total_offered->Inc();
     ++model.w_arrivals;
     if (InWindow(now)) {
-      ++model.offered;
+      model.offered->Inc();
     }
 
     std::vector<ReplicaView> views;
@@ -186,11 +256,12 @@ class ServingEngine {
     const DurationUs service = model.cost.BatchServiceUs(est_batch);
     if (!admission_.Admit(request, model.cfg.tier, best_wait, service)) {
       request.outcome = RequestOutcome::kShed;
-      ++model.total_shed;
+      model.total_shed->Inc();
       ++model.w_shed;
       if (InWindow(now)) {
-        ++model.shed;
+        model.shed->Inc();
       }
+      Mark("shed", {{"service", model.label}});
       return;
     }
     EnqueueAt(ids[router_.Pick(m, views)], std::move(request));
@@ -212,10 +283,11 @@ class ServingEngine {
       model.limbo.push_back(std::move(request));
       return;
     }
-    ++model.total_dropped;
+    model.total_dropped->Inc();
     if (InWindow(sim_.now())) {
-      ++model.dropped;
+      model.dropped->Inc();
     }
+    Mark("drop", {{"service", model.label}});
   }
 
   int PendingReplicas(std::size_t m) const {
@@ -332,25 +404,50 @@ class ServingEngine {
     ModelState& model = *models_[r.model];
     const TimeUs now = sim_.now();
     const bool in_window = InWindow(now);
+    const int batch_size = static_cast<int>(r.in_flight.size());
     for (const Request& request : r.in_flight) {
-      ++model.total_completed;
+      model.total_completed->Inc();
       ++model.w_completions;
       const bool met = now <= request.deadline_us;
       if (met) {
         ++model.w_slo_met;
       }
       if (in_window) {
-        ++model.completed;
+        model.completed->Inc();
         if (met) {
-          ++model.slo_met;
+          model.slo_met->Inc();
         }
-        model.latency.Add(now - request.arrival_us);
-        model.queueing.Add(request.start_service_us - request.arrival_us);
+        model.latency->Add(now - request.arrival_us);
+        model.queueing->Add(request.start_service_us - request.arrival_us);
+      }
+      if (model.track >= 0) {
+        // Request lifecycle: a "request" slice enclosing nested queue and
+        // execute phases, one virtual-thread row per request, plus a flow
+        // arrow from the execute phase to the device batch that served it.
+        const auto row = static_cast<std::int64_t>(request.id);
+        hub_->spans().Complete(model.track, row, "request", request.arrival_us, now,
+                               {{"slo_met", met ? "1" : "0"},
+                                {"failovers", std::to_string(request.failovers)}},
+                               "request");
+        hub_->spans().Complete(model.track, row, "queue", request.arrival_us,
+                               request.start_service_us, {}, "queue");
+        hub_->spans().Complete(model.track, row, "execute", request.start_service_us,
+                               now, {}, "execute");
+        hub_->spans().FlowStart(model.track, row, request.id, request.start_service_us);
+        hub_->spans().FlowEnd(gpu_tracks_[static_cast<std::size_t>(r.gpu)], replica_id,
+                              request.id, r.batch_start);
       }
     }
+    if (model.track >= 0) {
+      hub_->spans().Complete(gpu_tracks_[static_cast<std::size_t>(r.gpu)], replica_id,
+                             "batch:" + model.label, r.batch_start, now,
+                             {{"batch_size", std::to_string(batch_size)},
+                              {"replica", std::to_string(replica_id)}},
+                             "batch");
+    }
     if (in_window) {
-      ++model.batches;
-      model.batched_requests += r.in_flight.size();
+      model.batches->Inc();
+      model.batched_requests->Inc(static_cast<double>(batch_size));
     }
     r.busy_in_eval_window_us += now - r.batch_start;
     r.in_flight.clear();
@@ -408,6 +505,9 @@ class ServingEngine {
     r.state = ReplicaState::State::kActive;
     r.active_since = sim_.now();
     ModelState& model = *models_[r.model];
+    Mark("replica-active", {{"service", model.label},
+                            {"replica", std::to_string(replica_id)},
+                            {"gpu", std::to_string(r.gpu)}});
     while (!model.limbo.empty()) {
       Request request = std::move(model.limbo.front());
       model.limbo.pop_front();
@@ -455,7 +555,7 @@ class ServingEngine {
     const TimeUs start = std::max(r.active_since, config_.warmup_us);
     const TimeUs end = std::min(sim_.now(), horizon_);
     if (end > start) {
-      replica_seconds_ += UsToSec(end - start);
+      replica_seconds_->Inc(UsToSec(end - start));
     }
   }
 
@@ -481,7 +581,7 @@ class ServingEngine {
           break;
         default:
           // Device/link/profile faults act below this abstraction level.
-          ++faults_skipped_;
+          faults_skipped_->Inc();
           break;
       }
     }
@@ -490,10 +590,11 @@ class ServingEngine {
   void ApplyGpuDown(const fault::FaultEvent& event) {
     if (event.gpu < 0 || event.gpu >= static_cast<int>(gpus_.size()) ||
         !gpus_[static_cast<std::size_t>(event.gpu)].alive) {
-      ++faults_skipped_;
+      faults_skipped_->Inc();
       return;
     }
-    ++faults_injected_;
+    faults_injected_->Inc();
+    Mark("gpu-down", {{"gpu", std::to_string(event.gpu)}});
     GpuState& gpu = gpus_[static_cast<std::size_t>(event.gpu)];
     gpu.alive = false;
     const std::vector<int> victims = gpu.replicas;  // KillReplica mutates the list
@@ -506,10 +607,10 @@ class ServingEngine {
     if (event.client < 0 || event.client >= static_cast<int>(replicas_.size()) ||
         replicas_[static_cast<std::size_t>(event.client)].state ==
             ReplicaState::State::kDead) {
-      ++faults_skipped_;
+      faults_skipped_->Inc();
       return;
     }
-    ++faults_injected_;
+    faults_injected_->Inc();
     KillReplica(event.client);
   }
 
@@ -537,13 +638,16 @@ class ServingEngine {
     r.busy = false;
     ReleaseFromGpu(r);
     r.state = ReplicaState::State::kDead;
-    ++replicas_lost_;
+    replicas_lost_->Inc();
+    Mark("replica-killed", {{"service", model.label},
+                            {"replica", std::to_string(replica_id)},
+                            {"gpu", std::to_string(r.gpu)}});
 
     const bool in_window = InWindow(sim_.now());
     for (Request& request : orphans) {
       ++request.failovers;
       if (in_window) {
-        ++model.failed_over;
+        model.failed_over->Inc();
       }
       std::vector<ReplicaView> views;
       std::vector<int> ids;
@@ -552,10 +656,11 @@ class ServingEngine {
         if (PendingReplicas(m) > 0 || (config_.replace_lost_replicas && was_running)) {
           model.limbo.push_back(std::move(request));
         } else {
-          ++model.total_dropped;
+          model.total_dropped->Inc();
           if (in_window) {
-            ++model.dropped;
+            model.dropped->Inc();
           }
+          Mark("drop", {{"service", model.label}});
         }
         continue;
       }
@@ -564,9 +669,9 @@ class ServingEngine {
 
     if (config_.replace_lost_replicas) {
       if (AddReplica(m)) {
-        ++replacements_;
+        replacements_->Inc();
       } else {
-        ++replacement_failures_;
+        replacement_failures_->Inc();
       }
     }
   }
@@ -608,14 +713,17 @@ class ServingEngine {
       switch (Decide(config_.autoscaler, signals)) {
         case ScaleDecision::kUp:
           if (AddReplica(m)) {
-            ++scale_ups_;
+            scale_ups_->Inc();
+            Mark("scale-up", {{"service", model.label}});
           } else {
-            ++scale_failures_;
+            scale_failures_->Inc();
+            Mark("scale-failure", {{"service", model.label}});
           }
           break;
         case ScaleDecision::kDown:
           if (RemoveOneReplica(m)) {
-            ++scale_downs_;
+            scale_downs_->Inc();
+            Mark("scale-down", {{"service", model.label}});
           }
           break;
         case ScaleDecision::kHold:
@@ -639,31 +747,31 @@ class ServingEngine {
       ModelServingResult out;
       out.name = workloads::WorkloadName(model.cfg.workload);
       out.tier = model.cfg.tier;
-      out.offered = model.offered;
-      out.completed = model.completed;
-      out.slo_met = model.slo_met;
-      out.shed = model.shed;
-      out.dropped = model.dropped;
-      out.failed_over = model.failed_over;
+      out.offered = static_cast<std::size_t>(model.offered->AsCount());
+      out.completed = static_cast<std::size_t>(model.completed->AsCount());
+      out.slo_met = static_cast<std::size_t>(model.slo_met->AsCount());
+      out.shed = static_cast<std::size_t>(model.shed->AsCount());
+      out.dropped = static_cast<std::size_t>(model.dropped->AsCount());
+      out.failed_over = static_cast<std::size_t>(model.failed_over->AsCount());
       // Clamped: completions of pre-window arrivals can push the windowed
       // ratio a hair over 1 at light load.
       out.slo_attainment =
-          model.offered > 0 ? std::min(1.0, static_cast<double>(model.slo_met) /
-                                                static_cast<double>(model.offered))
-                            : 1.0;
+          out.offered > 0 ? std::min(1.0, static_cast<double>(out.slo_met) /
+                                              static_cast<double>(out.offered))
+                          : 1.0;
       out.throughput_rps =
-          static_cast<double>(model.completed) / UsToSec(config_.duration_us);
-      out.latency = std::move(model.latency);
-      out.queueing = std::move(model.queueing);
-      out.batches = model.batches;
-      out.mean_batch_size = model.batches > 0
-                                ? static_cast<double>(model.batched_requests) /
-                                      static_cast<double>(model.batches)
-                                : 0.0;
-      out.total_offered = model.total_offered;
-      out.total_completed = model.total_completed;
-      out.total_shed = model.total_shed;
-      out.total_dropped = model.total_dropped;
+          static_cast<double>(out.completed) / UsToSec(config_.duration_us);
+      out.latency = model.latency->window();
+      out.queueing = model.queueing->window();
+      out.batches = static_cast<std::size_t>(model.batches->AsCount());
+      out.mean_batch_size =
+          out.batches > 0 ? model.batched_requests->value() /
+                                static_cast<double>(out.batches)
+                          : 0.0;
+      out.total_offered = static_cast<std::size_t>(model.total_offered->AsCount());
+      out.total_completed = static_cast<std::size_t>(model.total_completed->AsCount());
+      out.total_shed = static_cast<std::size_t>(model.total_shed->AsCount());
+      out.total_dropped = static_cast<std::size_t>(model.total_dropped->AsCount());
       std::size_t left = model.limbo.size();
       for (const int id : model.replicas) {
         ReplicaState& r = replicas_[static_cast<std::size_t>(id)];
@@ -676,25 +784,36 @@ class ServingEngine {
         }
       }
       out.left_in_system = left;
+      // Export the closing term of the accounting identity so a metrics
+      // snapshot alone can verify
+      //   offered_total == completed_total + shed_total + dropped_total
+      //                    + left_in_system.
+      metrics_->GetGauge("serving.left_in_system", {{"service", model.label}})
+          ->Set(static_cast<double>(left));
+      metrics_->GetGauge("serving.final_replicas", {{"service", model.label}})
+          ->Set(static_cast<double>(out.final_replicas));
       ORION_CHECK_MSG(out.total_offered == out.total_completed + out.total_shed +
                                                out.total_dropped + out.left_in_system,
                       "request accounting identity violated for " << out.name);
       result.models.push_back(std::move(out));
     }
-    result.scale_ups = scale_ups_;
-    result.scale_downs = scale_downs_;
-    result.scale_failures = scale_failures_;
-    result.faults_injected = faults_injected_;
-    result.faults_skipped = faults_skipped_;
-    result.replicas_lost = replicas_lost_;
-    result.replacements = replacements_;
-    result.replacement_failures = replacement_failures_;
-    result.replica_seconds = replica_seconds_;
+    result.scale_ups = static_cast<std::size_t>(scale_ups_->AsCount());
+    result.scale_downs = static_cast<std::size_t>(scale_downs_->AsCount());
+    result.scale_failures = static_cast<std::size_t>(scale_failures_->AsCount());
+    result.faults_injected = static_cast<std::size_t>(faults_injected_->AsCount());
+    result.faults_skipped = static_cast<std::size_t>(faults_skipped_->AsCount());
+    result.replicas_lost = static_cast<std::size_t>(replicas_lost_->AsCount());
+    result.replacements = static_cast<std::size_t>(replacements_->AsCount());
+    result.replacement_failures =
+        static_cast<std::size_t>(replacement_failures_->AsCount());
+    result.replica_seconds = replica_seconds_->value();
     for (const GpuState& gpu : gpus_) {
       if (gpu.alive) {
         ++result.gpus_alive_end;
       }
     }
+    metrics_->GetGauge("serving.gpus_alive")
+        ->Set(static_cast<double>(result.gpus_alive_end));
     return result;
   }
 
@@ -708,15 +827,22 @@ class ServingEngine {
   std::vector<ReplicaState> replicas_;
   std::uint64_t next_request_id_ = 0;
 
-  std::size_t scale_ups_ = 0;
-  std::size_t scale_downs_ = 0;
-  std::size_t scale_failures_ = 0;
-  std::size_t faults_injected_ = 0;
-  std::size_t faults_skipped_ = 0;
-  std::size_t replicas_lost_ = 0;
-  std::size_t replacements_ = 0;
-  std::size_t replacement_failures_ = 0;
-  double replica_seconds_ = 0.0;
+  // Telemetry (bound in BindTelemetry; metrics_ falls back to the private
+  // registry when no hub is configured, so the instruments are never null).
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::MetricRegistry local_metrics_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
+  telemetry::TrackId control_track_ = -1;
+  std::vector<telemetry::TrackId> gpu_tracks_;
+  telemetry::Counter* scale_ups_ = nullptr;
+  telemetry::Counter* scale_downs_ = nullptr;
+  telemetry::Counter* scale_failures_ = nullptr;
+  telemetry::Counter* faults_injected_ = nullptr;
+  telemetry::Counter* faults_skipped_ = nullptr;
+  telemetry::Counter* replicas_lost_ = nullptr;
+  telemetry::Counter* replacements_ = nullptr;
+  telemetry::Counter* replacement_failures_ = nullptr;
+  telemetry::Counter* replica_seconds_ = nullptr;  // replica-seconds accrue monotonically
 };
 
 }  // namespace

@@ -35,6 +35,7 @@
 #include "src/common/stats.h"
 #include "src/fault/fault_plan.h"
 #include "src/gpusim/device_spec.h"
+#include "src/telemetry/telemetry.h"
 #include "src/serving/admission.h"
 #include "src/serving/autoscaler.h"
 #include "src/serving/batcher.h"
@@ -82,6 +83,16 @@ struct ServingConfig {
   DurationUs warmup_us = SecToUs(1.0);
   DurationUs duration_us = SecToUs(20.0);  // measurement window after warmup
   std::uint64_t seed = 42;
+
+  // Optional telemetry sink (src/telemetry). When set, every counter the
+  // engine keeps lives in the hub's metric registry as "serving.*" metrics
+  // labeled by service (the ServingResult is assembled FROM the registry, so
+  // an exported CSV reproduces the printed numbers exactly), and with
+  // tracing enabled each request becomes nested request/queue/execute slices
+  // on its service's track, each batch a slice on its GPU's track (flow
+  // arrows link a request to the batch that served it), and shed/drop/
+  // failover/scaling decisions become instant markers on a control track.
+  telemetry::Hub* telemetry = nullptr;
 };
 
 // Per-service results. Window counters cover the measurement window only;

@@ -1,0 +1,49 @@
+// Telemetry exporters: CSV metric snapshots and merged Chrome/Perfetto
+// traces.
+//
+// WriteMetricsCsv renders a MetricRegistry snapshot as one CSV row per
+// metric (counters and gauges fill `value`; histograms fill the
+// count/mean/percentile columns from their current window).
+//
+// WriteChromeTrace merges the hub's kernel execution tracks (one Chrome
+// process per device, one thread per stream) with the cross-layer spans of
+// the SpanTracer (one process per span track) into a single JSON array
+// loadable by chrome://tracing and https://ui.perfetto.dev — request
+// lifecycles, scheduler decisions, collectives, fabric transfers and fault
+// markers on the same timeline as the kernels they explain. Span tracks take
+// pids [0, N); kernel tracks follow at kKernelPidBase so device lanes group
+// together below the logical tracks.
+//
+// Both exporters are deterministic: rows are sorted, events keep the
+// simulator's event order, and timestamps are printed with fixed precision.
+#ifndef SRC_TELEMETRY_EXPORTERS_H_
+#define SRC_TELEMETRY_EXPORTERS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace orion {
+namespace telemetry {
+
+// First pid used for kernel (device) tracks in a merged trace.
+inline constexpr int kKernelPidBase = 1000;
+
+void WriteMetricsCsv(const MetricRegistry& metrics, std::ostream& os);
+
+// Spans only (no kernel tracks).
+void WriteChromeTrace(const SpanTracer& spans, std::ostream& os);
+
+// Full merge: spans + kernel tracks.
+void WriteChromeTrace(const Hub& hub, std::ostream& os);
+
+// File-writing convenience used by the bench binaries; aborts on I/O errors
+// (a bench asked to export must not silently drop the artefact).
+void ExportMetricsCsv(const MetricRegistry& metrics, const std::string& path);
+void ExportChromeTrace(const Hub& hub, const std::string& path);
+
+}  // namespace telemetry
+}  // namespace orion
+
+#endif  // SRC_TELEMETRY_EXPORTERS_H_

@@ -361,6 +361,30 @@ TEST(ServingTest, AccountingIdentityHolds) {
   EXPECT_GT(model.total_shed + model.left_in_system, 0u);
 }
 
+// The same identity, read back from an attached telemetry hub's registry:
+// the engine's lifetime counters and the closing left_in_system gauge are
+// the exported source of truth, not a parallel bookkeeping path.
+TEST(ServingTest, AccountingIdentityVisibleInMetricsSnapshot) {
+  telemetry::Hub hub;
+  ServingConfig config = OverloadConfig();
+  config.telemetry = &hub;
+  const ServingResult result = RunServing(config);
+  const ModelServingResult& model = result.models[0];
+  const telemetry::Labels by_service = {{"service", model.name}};
+  const telemetry::MetricRegistry& metrics = hub.metrics();
+  const double offered = metrics.CounterValue("serving.offered_total", by_service);
+  const double completed = metrics.CounterValue("serving.completed_total", by_service);
+  const double shed = metrics.CounterValue("serving.shed_total", by_service);
+  const double dropped = metrics.CounterValue("serving.dropped_total", by_service);
+  const double in_system = metrics.GaugeValue("serving.left_in_system", by_service);
+  EXPECT_GT(offered, 0.0);
+  EXPECT_DOUBLE_EQ(offered, completed + shed + dropped + in_system);
+  // The result struct is assembled from these same instruments.
+  EXPECT_EQ(model.total_offered, static_cast<std::size_t>(offered));
+  EXPECT_EQ(model.total_completed, static_cast<std::size_t>(completed));
+  EXPECT_EQ(model.left_in_system, static_cast<std::size_t>(in_system));
+}
+
 TEST(ServingTest, AdmissionControlProtectsServedTailUnderOverload) {
   ServingConfig with = OverloadConfig();
   ServingConfig without = OverloadConfig();

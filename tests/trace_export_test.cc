@@ -67,6 +67,30 @@ TEST(TraceExportTest, ClearResets) {
   EXPECT_EQ(collector.size(), 0u);
 }
 
+TEST(TraceExportTest, MergesMultipleDevicesAsSeparateTracks) {
+  Simulator sim;
+  Device gpu0(&sim, DeviceSpec::V100_16GB());
+  Device gpu1(&sim, DeviceSpec::V100_16GB());
+  TraceCollector collector;
+  collector.RecordInto(gpu0, "gpu0");
+  collector.RecordInto(gpu1, "gpu1");
+  gpu0.LaunchKernel(gpu0.CreateStream(), MakeKernel("on-zero", 100.0, 0.5, 0.2, 10));
+  gpu1.LaunchKernel(gpu1.CreateStream(), MakeKernel("on-one", 50.0, 0.2, 0.5, 10));
+  sim.RunUntilIdle();
+  ASSERT_EQ(collector.size(), 2u);
+
+  std::ostringstream os;
+  collector.WriteChromeTrace(os);
+  const std::string json = os.str();
+  // One process-name metadata record and one pid per device.
+  EXPECT_NE(json.find("\"gpu0\""), std::string::npos);
+  EXPECT_NE(json.find("\"gpu1\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"on-zero\""), std::string::npos);
+  EXPECT_NE(json.find("\"on-one\""), std::string::npos);
+}
+
 TEST(TraceExportTest, EmptyTraceIsStillValid) {
   TraceCollector collector;
   std::ostringstream os;
