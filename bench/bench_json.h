@@ -1,0 +1,178 @@
+// Minimal JSON emitter for the perf benches (BENCH_*.json artefacts).
+//
+// The perf trajectory lives in machine-readable JSON files next to the
+// human-readable tables the benches print: one object per bench binary,
+// one entry per measurement, written atomically at the end of the run so a
+// crashed bench never leaves a half-written artefact. Kept deliberately
+// tiny (objects, arrays, numbers, strings — no parsing) so the benches do
+// not grow a dependency for what `python3 -m json.tool` validates in CI.
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace orion {
+namespace bench {
+
+// A JSON value tree. Keys keep insertion order (measurement order is the
+// natural reading order for a perf log, and stable output diffs cleanly).
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kObject) {}
+
+  static JsonValue Number(double v) { return JsonValue(Kind::kNumber, v); }
+  static JsonValue String(std::string v) {
+    JsonValue value(Kind::kString, 0.0);
+    value.string_ = std::move(v);
+    return value;
+  }
+  static JsonValue Bool(bool v) { return JsonValue(Kind::kBool, v ? 1.0 : 0.0); }
+  static JsonValue Array() { return JsonValue(Kind::kArray, 0.0); }
+
+  // Object access: creates the key (in insertion order) on first use.
+  JsonValue& operator[](const std::string& key) {
+    for (auto& entry : members_) {
+      if (entry.first == key) {
+        return *entry.second;
+      }
+    }
+    members_.emplace_back(key, std::make_unique<JsonValue>());
+    return *members_.back().second;
+  }
+
+  // Convenience setters so call sites read like assignments.
+  JsonValue& operator=(double v) { return Assign(Kind::kNumber, v, ""); }
+  JsonValue& operator=(int v) { return Assign(Kind::kNumber, v, ""); }
+  JsonValue& operator=(std::size_t v) {
+    return Assign(Kind::kNumber, static_cast<double>(v), "");
+  }
+  JsonValue& operator=(bool v) { return Assign(Kind::kBool, v ? 1.0 : 0.0, ""); }
+  JsonValue& operator=(const char* v) { return Assign(Kind::kString, 0.0, v); }
+  JsonValue& operator=(const std::string& v) { return Assign(Kind::kString, 0.0, v); }
+
+  JsonValue& Append() {
+    kind_ = Kind::kArray;
+    elements_.push_back(std::make_unique<JsonValue>());
+    return *elements_.back();
+  }
+
+  void Dump(std::ostream& out, int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNumber: {
+        if (!std::isfinite(number_)) {
+          out << "null";  // JSON has no inf/nan
+          break;
+        }
+        char buf[32];
+        // Shortest round-trippable-enough form: integers print bare.
+        if (number_ == static_cast<double>(static_cast<long long>(number_)) &&
+            std::fabs(number_) < 1e15) {
+          std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(number_));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.6g", number_);
+        }
+        out << buf;
+        break;
+      }
+      case Kind::kBool:
+        out << (number_ != 0.0 ? "true" : "false");
+        break;
+      case Kind::kString:
+        out << '"' << Escaped(string_) << '"';
+        break;
+      case Kind::kArray:
+        if (elements_.empty()) {
+          out << "[]";
+          break;
+        }
+        out << "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          out << inner;
+          elements_[i]->Dump(out, indent + 1);
+          out << (i + 1 < elements_.size() ? ",\n" : "\n");
+        }
+        out << pad << ']';
+        break;
+      case Kind::kObject:
+        if (members_.empty()) {
+          out << "{}";
+          break;
+        }
+        out << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out << inner << '"' << Escaped(members_[i].first) << "\": ";
+          members_[i].second->Dump(out, indent + 1);
+          out << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        out << pad << '}';
+        break;
+    }
+  }
+
+  // Writes the tree to `path` via a temp file + rename (atomic on POSIX).
+  bool WriteFile(const std::string& path) const {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) {
+        return false;
+      }
+      Dump(out);
+      out << '\n';
+      if (!out) {
+        return false;
+      }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool };
+
+  JsonValue(Kind kind, double number) : kind_(kind), number_(number) {}
+
+  JsonValue& Assign(Kind kind, double number, std::string str) {
+    kind_ = kind;
+    number_ = number;
+    string_ = std::move(str);
+    members_.clear();
+    elements_.clear();
+    return *this;
+  }
+
+  static std::string Escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members_;
+  std::vector<std::unique_ptr<JsonValue>> elements_;
+};
+
+}  // namespace bench
+}  // namespace orion
+
+#endif  // BENCH_BENCH_JSON_H_

@@ -397,11 +397,10 @@ void Device::AdvanceTo(TimeUs now) {
     last_update_ = now;
     return;
   }
-  std::vector<std::pair<RunningKernel*, double>> rates;
-  ComputeRates(&rates);
+  ComputeRates(&rates_scratch_);
   double delivered_compute = 0.0;
   double delivered_membw = 0.0;
-  for (const auto& [rk, rate] : rates) {
+  for (const auto& [rk, rate] : rates_scratch_) {
     rk->remaining = std::max(0.0, rk->remaining - rate * dt);
     delivered_compute += rk->desc.compute_util * rate;
     delivered_membw += rk->desc.membw_util * rate;
@@ -592,9 +591,8 @@ void Device::Reschedule() {
   sim_->Cancel(completion_event_);
   completion_event_ = EventHandle();
   DurationUs next_completion = std::numeric_limits<DurationUs>::infinity();
-  std::vector<std::pair<RunningKernel*, double>> rates;
-  ComputeRates(&rates);
-  for (const auto& [rk, rate] : rates) {
+  ComputeRates(&rates_scratch_);
+  for (const auto& [rk, rate] : rates_scratch_) {
     if (rate > 0.0) {
       next_completion = std::min(next_completion, rk->remaining / rate);
     }

@@ -247,6 +247,9 @@ class Device {
   EventHandle completion_event_;
   bool in_reschedule_ = false;
   bool rebalance_pending_ = false;
+  // Scratch for ComputeRates callers (AdvanceTo / Reschedule run once per
+  // device event; reusing the buffer keeps the hot path allocation-free).
+  std::vector<std::pair<RunningKernel*, double>> rates_scratch_;
 
   // Copy engine: single queue, one transfer at a time.
   std::deque<PendingCopy> copy_queue_;

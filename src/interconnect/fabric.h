@@ -5,9 +5,22 @@
 // and each link direction divides its bandwidth EQUALLY among the transfers
 // currently crossing it (PCIe and NVLink arbitrate round-robin at packet
 // granularity, which a fluid equal split approximates). A transfer's rate is
-// the minimum share along its route; when membership on any link changes, all
-// rates are recomputed and the next completion event is rescheduled, so
-// completion times are exact under the model and bit-deterministic.
+// the minimum share along its route; when membership on any link changes the
+// affected rates are recomputed and the next completion event is rescheduled,
+// so completion times are exact under the model and bit-deterministic.
+//
+// Rebalance is incremental. Under equal split, a transfer's rate depends only
+// on the member count and fault factor of the link directions it crosses, so
+// an enqueue/complete/fault touching direction d can change the rate of
+// exactly the transfers crossing d. The fabric keeps a per-direction member
+// index; mutations mark their directions dirty and RefreshRates() re-solves
+// only the members of dirty directions — the whole-fabric recompute survives
+// as a debug-mode oracle (set_debug_oracle) that re-derives every rate from
+// scratch and checks exact equality. Per-transfer progress integration is
+// allocation-free: transfers live in a reusable slab and `active_` preserves
+// activation order, so byte accrual and completion callbacks happen in the
+// same order (and with the same floating-point results) as the original
+// list-walk implementation.
 //
 // Deliberately NOT modeled: work-conserving redistribution of a bottlenecked
 // transfer's unused share on its other links (max-min fairness across the
@@ -24,8 +37,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <set>
 #include <vector>
 
 #include "src/common/time_types.h"
@@ -84,7 +95,7 @@ class Fabric : public gpusim::HostLinkModel {
   // Scales one direction of a link to `factor` (0 <= factor; 1 = healthy,
   // 0 = down). Transfers crossing a dead direction stall in place — they
   // keep their route and resume when the factor comes back, so a flap costs
-  // only the outage interval. Rates everywhere are recomputed immediately.
+  // only the outage interval. Affected rates are recomputed immediately.
   void SetLinkFactor(LinkId link, bool forward, double factor);
   double LinkFactor(LinkId link, bool forward) const;
   // A GPU is alive while at least one direction of at least one of its links
@@ -98,40 +109,83 @@ class Fabric : public gpusim::HostLinkModel {
   // in flight.
   bool CancelTransfer(TransferId id);
 
+  // --- Debug oracle. ---
+  // When on, every incremental rebalance is cross-checked against a
+  // whole-fabric from-scratch solve (the original solver); any divergence —
+  // member counts or a single rate bit — is a fatal ORION_CHECK. Costs the
+  // full O(transfers x route) recompute per mutation; meant for tests and
+  // the fabric churn property suite, not production runs.
+  void set_debug_oracle(bool on) { debug_oracle_ = on; }
+  std::size_t debug_oracle_checks() const { return debug_oracle_checks_; }
+
  private:
   struct Transfer {
-    std::uint64_t seq = 0;
+    TransferId id = 0;
     std::vector<Hop> route;
     double remaining = 0.0;  // bytes
+    double rate = 0.0;       // cached fair-share rate, bytes/us
     Callback done;
+    bool cancelled_in_setup = false;
+  };
+
+  // Per link-direction rebalance index: how many route hops of streaming
+  // transfers cross this direction (a transfer crossing twice counts twice,
+  // matching the equal-split share it receives), and which slab slots they
+  // are. `members` is unordered; duplicates mirror the hop multiplicity.
+  struct DirState {
+    int count = 0;
+    std::vector<std::uint32_t> members;
+    bool dirty = false;
   };
 
   static std::size_t DirIndex(const Hop& hop) {
     return static_cast<std::size_t>(hop.link) * 2 + (hop.forward ? 1 : 0);
   }
 
+  std::uint32_t AllocTransferSlot();
+  void ReleaseTransferSlot(std::uint32_t slot);
+
+  // Dirty-direction propagation: mutations call AddToDirs/RemoveFromDirs/
+  // MarkDirty, then RefreshRates re-solves exactly the members of dirty
+  // directions.
+  void AddToDirs(std::uint32_t slot);
+  void RemoveFromDirs(std::uint32_t slot);
+  void MarkDirty(std::size_t dir);
+  void RefreshRates();
+  double SolveRate(const Transfer& transfer) const;
+
   // Integrates all in-flight transfers' progress (and the per-link byte
-  // counters) from last_update_ to now at the current rates.
+  // counters) from last_update_ to now at the current cached rates.
   void AdvanceTo(TimeUs now);
-  // Per-transfer rate in bytes/µs under equal per-link-direction sharing.
-  std::vector<double> ComputeRates() const;
+  // Original whole-fabric solver, kept as the debug oracle: per-transfer
+  // rates (activation order) from a from-scratch membership count.
+  std::vector<double> OracleRates() const;
+  void CheckOracle();
   // Retires finished transfers and (re)schedules the next completion event.
+  // Completion callback of the `completion_event_` timer.
   void Update();
-  void Activate(Transfer transfer);
+  // Retire sweep + completion-event reschedule; cached rates must be fresh.
+  void RetireAndReschedule();
+  void Activate(std::uint32_t slot);
+  void FinishSetup(std::uint32_t slot);
 
   Simulator* sim_;
   NodeTopology topology_;
-  std::list<Transfer> transfers_;  // in flight, streaming phase
+  std::vector<Transfer> slab_;                    // reusable transfer slots
+  std::vector<std::uint32_t> free_transfer_slots_;
+  std::vector<std::uint32_t> active_;  // streaming, in activation order
+  std::vector<std::uint32_t> setup_;   // still in their latency phase
+  std::vector<DirState> dirs_;         // indexed by DirIndex
+  std::vector<std::size_t> dirty_dirs_;
   std::vector<double> bytes_moved_;  // indexed by DirIndex
   std::vector<double> link_factor_;  // indexed by DirIndex; 1.0 = healthy
   std::uint64_t next_seq_ = 0;
   TimeUs last_update_ = 0.0;
   EventHandle completion_event_;
-  int in_setup_ = 0;  // transfers still in their latency phase
-  std::set<TransferId> setup_ids_;          // ids still in their setup phase
-  std::set<TransferId> cancelled_pending_;  // cancelled while in setup
   std::size_t transfers_completed_ = 0;
   std::size_t transfers_cancelled_ = 0;
+  bool debug_oracle_ = false;
+  std::size_t debug_oracle_checks_ = 0;
 
   telemetry::Hub* hub_ = nullptr;
   telemetry::TrackId trace_track_ = -1;

@@ -1,5 +1,7 @@
 #include "src/serving/batcher.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace orion {
@@ -34,14 +36,20 @@ TimeUs DynamicBatcher::LingerDeadline() const {
 }
 
 std::vector<Request> DynamicBatcher::TakeBatch() {
+  std::vector<Request> batch;
+  TakeBatchInto(&batch);
+  return batch;
+}
+
+void DynamicBatcher::TakeBatchInto(std::vector<Request>* out) {
   ORION_CHECK(!queue_.empty());
   const int take = config_.enabled ? config_.max_batch_size : 1;
-  std::vector<Request> batch;
-  while (!queue_.empty() && static_cast<int>(batch.size()) < take) {
-    batch.push_back(queue_.front());
+  out->clear();  // keeps capacity: a replica's reused buffer stops allocating
+  out->reserve(std::min<std::size_t>(static_cast<std::size_t>(take), queue_.size()));
+  while (!queue_.empty() && static_cast<int>(out->size()) < take) {
+    out->push_back(queue_.front());
     queue_.pop_front();
   }
-  return batch;
 }
 
 std::vector<Request> DynamicBatcher::Drain() {

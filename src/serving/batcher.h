@@ -43,6 +43,9 @@ class DynamicBatcher {
 
   // Removes and returns the next batch (up to max_batch_size requests, FIFO).
   std::vector<Request> TakeBatch();
+  // Allocation-free variant for the dispatch hot path: fills `out` (cleared
+  // first, capacity retained) with the same batch TakeBatch would return.
+  void TakeBatchInto(std::vector<Request>* out);
 
   // Removes and returns everything queued (failover re-routing).
   std::vector<Request> Drain();

@@ -385,7 +385,7 @@ class ServingEngine {
     ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
     ModelState& model = *models_[r.model];
     const TimeUs now = sim_.now();
-    r.in_flight = r.batcher.TakeBatch();
+    r.batcher.TakeBatchInto(&r.in_flight);  // reuses the replica's buffer
     for (Request& request : r.in_flight) {
       request.start_service_us = now;
     }

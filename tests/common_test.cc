@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <utility>
 
+#include "src/common/inline_function.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -187,6 +190,94 @@ TEST(TimeTypesTest, Conversions) {
   EXPECT_DOUBLE_EQ(SecToUs(2.0), 2e6);
   EXPECT_DOUBLE_EQ(UsToMs(2500.0), 2.5);
   EXPECT_DOUBLE_EQ(UsToSec(5e5), 0.5);
+}
+
+// --- InlineFunction: the simulator's small-buffer callback type. ---
+
+using TestFn = common::InlineFunction<int(), 48>;
+
+TEST(InlineFunctionTest, EmptyAndNullptrSemantics) {
+  TestFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  f = []() { return 3; };
+  EXPECT_TRUE(f != nullptr);
+  EXPECT_EQ(f(), 3);
+  f = nullptr;
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline) {
+  int x = 41;
+  TestFn f = [px = &x]() { return *px + 1; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    unsigned char pad[128];
+  };
+  Big big{};
+  big.pad[0] = 9;
+  TestFn f = [big]() { return static_cast<int>(big.pad[0]); };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 9);
+  // Heap targets still move correctly (pointer steal, no reallocation).
+  TestFn g = std::move(f);
+  EXPECT_FALSE(g.is_inline());
+  EXPECT_EQ(g(), 9);
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  TestFn f = [&calls]() { return ++calls; };
+  TestFn g = std::move(f);
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move): tested on purpose
+  EXPECT_EQ(g(), 1);
+  EXPECT_EQ(g(), 2);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureSupported) {
+  auto p = std::make_unique<int>(13);
+  common::InlineFunction<int(), 48> f = [p = std::move(p)]() { return *p; };
+  EXPECT_EQ(f(), 13);
+  // std::function would reject this capture (it requires copyability).
+}
+
+TEST(InlineFunctionTest, DestructorRunsOnResetAndDestruction) {
+  int alive = 0;
+  struct Token {
+    int* alive;
+    explicit Token(int* a) : alive(a) { ++*alive; }
+    Token(const Token& o) : alive(o.alive) { ++*alive; }
+    Token(Token&& o) noexcept : alive(o.alive) { o.alive = nullptr; }
+    ~Token() {
+      if (alive != nullptr) {
+        --*alive;
+      }
+    }
+  };
+  {
+    common::InlineFunction<int(), 48> f =
+        [t = Token(&alive)]() { return t.alive != nullptr ? 1 : 0; };
+    EXPECT_EQ(alive, 1);
+    f = nullptr;
+    EXPECT_EQ(alive, 0);
+    f = [t = Token(&alive)]() { return t.alive != nullptr ? 2 : 0; };
+    EXPECT_EQ(alive, 1);
+  }
+  EXPECT_EQ(alive, 0);  // destructor path
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnForwarded) {
+  common::InlineFunction<int(int, int), 48> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(InlineFunctionDeathTest, InvokingEmptyIsChecked) {
+  TestFn f;
+  EXPECT_DEATH(f(), "empty InlineFunction");
 }
 
 }  // namespace

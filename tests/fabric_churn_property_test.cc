@@ -1,0 +1,166 @@
+// Incremental-rebalance property test (perf overhaul PR): seeded random
+// fabric churn — transfer starts, mid-flight cancels, link-factor flaps —
+// with the debug oracle enabled, so after EVERY rebalance the fabric
+// cross-checks its incremental per-direction membership counts and cached
+// rates against the retained whole-fabric solver, requiring exact (bitwise)
+// double equality. Any divergence aborts via ORION_CHECK inside the fabric,
+// so the test's job is to generate hostile membership churn and verify the
+// oracle actually ran.
+//
+// A second pass replays identical churn with the oracle off and compares the
+// observable outcomes (completion-time sequence, per-direction byte
+// counters) bit-for-bit, proving the oracle is a pure observer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/interconnect/fabric.h"
+#include "src/interconnect/topology.h"
+#include "src/sim/simulator.h"
+
+namespace orion {
+namespace interconnect {
+namespace {
+
+constexpr std::size_t kKb = 1 << 10;
+
+struct ChurnOutcome {
+  std::vector<TimeUs> completion_times;  // in completion order
+  std::vector<double> bytes_moved;       // per DirIndex
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t oracle_checks = 0;
+};
+
+// Drives a seeded random churn over `topology` and returns the observable
+// outcome. The same seed must produce the same schedule whether or not the
+// oracle runs, so all randomness is drawn up front.
+ChurnOutcome RunChurn(std::uint64_t seed, const NodeTopology& topology,
+                      bool debug_oracle, int num_transfers, int num_faults,
+                      double horizon_us) {
+  Rng rng(seed);
+  Simulator sim;
+  Fabric fabric(&sim, topology);
+  fabric.set_debug_oracle(debug_oracle);
+  ChurnOutcome out;
+
+  const int gpus = topology.num_gpus();
+  std::vector<TransferId> started_ids;
+  started_ids.reserve(static_cast<std::size_t>(num_transfers));
+  for (int i = 0; i < num_transfers; ++i) {
+    const TimeUs at = rng.UniformDouble(0.0, horizon_us);
+    int src = static_cast<int>(rng.UniformInt(-1, gpus - 1));  // -1 = host
+    int dst = static_cast<int>(rng.UniformInt(-1, gpus - 1));
+    if (src == dst) {
+      dst = (dst + 1 < gpus) ? dst + 1 : -1;
+    }
+    if (src == -1) {
+      src = kHostNode;
+    }
+    if (dst == -1) {
+      dst = kHostNode;
+    }
+    const std::size_t bytes = static_cast<std::size_t>(rng.UniformInt(16, 2048)) * kKb;
+    const bool cancel = rng.NextDouble() < 0.25;
+    const DurationUs cancel_after = rng.UniformDouble(1.0, 200.0);
+    sim.ScheduleAt(at, [&, src, dst, bytes, cancel, cancel_after]() {
+      const TransferId id = fabric.StartTransfer(
+          src, dst, bytes, [&]() { out.completion_times.push_back(sim.now()); });
+      if (cancel) {
+        sim.ScheduleAfter(cancel_after, [&fabric, id]() {
+          // May race with natural completion; both outcomes are valid.
+          (void)fabric.CancelTransfer(id);
+        });
+      }
+    });
+  }
+
+  for (int i = 0; i < num_faults; ++i) {
+    const TimeUs at = rng.UniformDouble(0.0, horizon_us);
+    const DurationUs outage = rng.UniformDouble(20.0, horizon_us / 4);
+    const LinkId link = static_cast<LinkId>(
+        rng.UniformInt(0, static_cast<int>(topology.links().size()) - 1));
+    const bool forward = rng.NextDouble() < 0.5;
+    const double factor = rng.NextDouble() < 0.5 ? 0.0 : 0.5;
+    sim.ScheduleAt(at, [&fabric, link, forward, factor]() {
+      fabric.SetLinkFactor(link, forward, factor);
+    });
+    sim.ScheduleAt(at + outage, [&fabric, link, forward]() {
+      fabric.SetLinkFactor(link, forward, 1.0);
+    });
+  }
+
+  sim.RunUntilIdle();
+  EXPECT_EQ(fabric.ActiveTransfers(), 0);
+  out.completed = fabric.transfers_completed();
+  out.cancelled = fabric.transfers_cancelled();
+  out.oracle_checks = fabric.debug_oracle_checks();
+  for (const Link& link : topology.links()) {
+    out.bytes_moved.push_back(fabric.BytesMoved(link.id, false));
+    out.bytes_moved.push_back(fabric.BytesMoved(link.id, true));
+  }
+  return out;
+}
+
+TEST(FabricChurnPropertyTest, IncrementalRatesMatchOracleUnderChurn) {
+  // PCIe-only and NVLink-pair topologies: host copies share PCIe directions
+  // with peer traffic, multi-hop routes cross several directions, so adds /
+  // removes / flaps dirty overlapping direction sets.
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
+    const ChurnOutcome out = RunChurn(seed, NodeTopology::NvLinkPairs(4),
+                                      /*debug_oracle=*/true,
+                                      /*num_transfers=*/60, /*num_faults=*/10,
+                                      /*horizon_us=*/4000.0);
+    EXPECT_EQ(out.completed + out.cancelled, 60u) << "seed " << seed;
+    // Every mutation rebalanced at least once; the oracle verified each.
+    EXPECT_GT(out.oracle_checks, 60u) << "seed " << seed;
+  }
+}
+
+TEST(FabricChurnPropertyTest, OracleIsAPureObserver) {
+  const NodeTopology topo = NodeTopology::NvLinkPairs(4);
+  const ChurnOutcome with_oracle =
+      RunChurn(99, topo, /*debug_oracle=*/true, 40, 6, 3000.0);
+  const ChurnOutcome without =
+      RunChurn(99, topo, /*debug_oracle=*/false, 40, 6, 3000.0);
+  EXPECT_GT(with_oracle.oracle_checks, 0u);
+  EXPECT_EQ(without.oracle_checks, 0u);
+  EXPECT_EQ(with_oracle.completed, without.completed);
+  EXPECT_EQ(with_oracle.cancelled, without.cancelled);
+  // Bit-identical observable behavior: completion order and times...
+  ASSERT_EQ(with_oracle.completion_times.size(), without.completion_times.size());
+  for (std::size_t i = 0; i < with_oracle.completion_times.size(); ++i) {
+    EXPECT_EQ(with_oracle.completion_times[i], without.completion_times[i]) << i;
+  }
+  // ...and exact per-direction byte counters (no tolerance).
+  ASSERT_EQ(with_oracle.bytes_moved.size(), without.bytes_moved.size());
+  for (std::size_t i = 0; i < with_oracle.bytes_moved.size(); ++i) {
+    EXPECT_EQ(with_oracle.bytes_moved[i], without.bytes_moved[i]) << i;
+  }
+}
+
+TEST(FabricChurnPropertyTest, HostCopiesContendAndStayOracleClean) {
+  // Host<->GPU copy bursts through StartHostCopy's PCIe path while
+  // peer-to-peer transfers churn — the serving/collective mixture.
+  Simulator sim;
+  Fabric fabric(&sim, NodeTopology::NvLinkPairs(2));
+  fabric.set_debug_oracle(true);
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    sim.ScheduleAt(10.0 * i, [&fabric, &done, i]() {
+      fabric.StartHostCopy(i % 2, 256 * kKb, (i % 3) != 0, [&done]() { ++done; });
+      fabric.StartTransfer(0, 1, 512 * kKb, [&done]() { ++done; });
+    });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, 32);
+  EXPECT_EQ(fabric.ActiveTransfers(), 0);
+  EXPECT_GT(fabric.debug_oracle_checks(), 32u);
+}
+
+}  // namespace
+}  // namespace interconnect
+}  // namespace orion

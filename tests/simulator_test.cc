@@ -2,6 +2,7 @@
 // semantics, reentrancy from callbacks.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -133,6 +134,102 @@ TEST(SimulatorTest, CountsProcessedEvents) {
   }
   sim.RunUntilIdle();
   EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// --- Slab / heap invariants of the allocation-free engine. ---
+
+// Cancelled slots are reclaimed immediately: heavy schedule/cancel churn
+// must not grow the pool beyond the peak number of simultaneously live
+// events (the old engine kept tombstones until their timestamp popped).
+TEST(SimulatorSoakTest, CancelChurnHoldsBoundedMemory) {
+  Simulator sim;
+  constexpr std::size_t kLivePerRound = 64;
+  std::vector<EventHandle> handles;
+  std::size_t fired = 0;
+  for (int round = 0; round < 10000; ++round) {
+    handles.clear();
+    for (std::size_t i = 0; i < kLivePerRound; ++i) {
+      handles.push_back(
+          sim.ScheduleAfter(1.0 + static_cast<double>(i), [&fired]() { ++fired; }));
+    }
+    // Cancel all but one; the survivor keeps the clock moving.
+    for (std::size_t i = 1; i < kLivePerRound; ++i) {
+      sim.Cancel(handles[i]);
+    }
+    sim.RunUntilIdle();
+    EXPECT_EQ(sim.live_events(), 0u);
+  }
+  EXPECT_EQ(fired, 10000u);
+  // The pool never needs more slots than the peak live population. A small
+  // slack term keeps the assertion about the invariant, not the exact
+  // allocation pattern.
+  EXPECT_LE(sim.pool_slots(), kLivePerRound + 8);
+}
+
+// A handle whose slot was released and reused must not cancel the slot's
+// new occupant: generations make stale handles exact no-ops.
+TEST(SimulatorTest, StaleHandleCannotCancelReusedSlot) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle stale = sim.ScheduleAt(1.0, [&]() { ++first; });
+  sim.Cancel(stale);  // slot returns to the free list
+  EXPECT_EQ(sim.pool_slots(), 1u);
+  EventHandle fresh = sim.ScheduleAt(2.0, [&]() { ++second; });
+  EXPECT_EQ(sim.pool_slots(), 1u);  // same slot, new generation
+  sim.Cancel(stale);                // stale generation: must be a no-op
+  sim.RunUntilIdle();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  sim.Cancel(fresh);  // already ran: also a no-op
+}
+
+// Same-timestamp FIFO order must hold across the ring fast path and the
+// heap: events scheduled for time T before the clock reaches T (heap) and
+// events scheduled at T once the clock is there (ring) interleave strictly
+// by schedule order.
+TEST(SimulatorTest, FifoOrderAcrossRingAndHeap) {
+  Simulator sim;
+  std::vector<int> order;
+  // Seq 0 and 1 land in the heap for t=10.
+  sim.ScheduleAt(10.0, [&]() {
+    order.push_back(0);
+    // Seq 2..4 land in the ring (now == 10).
+    sim.ScheduleAfter(0.0, [&]() { order.push_back(2); });
+    sim.ScheduleAfter(0.0, [&]() {
+      order.push_back(3);
+      sim.ScheduleAfter(0.0, [&]() { order.push_back(4); });
+    });
+  });
+  sim.ScheduleAt(10.0, [&]() { order.push_back(1); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Cancelling a ring-resident event (scheduled at the current timestamp)
+// must skip it without disturbing later same-timestamp events.
+TEST(SimulatorTest, CancelRingResidentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5.0, [&]() {
+    order.push_back(0);
+    EventHandle doomed = sim.ScheduleAfter(0.0, [&]() { order.push_back(99); });
+    sim.ScheduleAfter(0.0, [&]() { order.push_back(1); });
+    sim.Cancel(doomed);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+// Move-only captures (the InlineFunction upgrade over std::function) work
+// end to end through scheduling.
+TEST(SimulatorTest, MoveOnlyCallbackCapture) {
+  Simulator sim;
+  auto value = std::make_unique<int>(7);
+  int seen = 0;
+  sim.ScheduleAfter(1.0, [v = std::move(value), &seen]() { seen = *v; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, 7);
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
