@@ -1,0 +1,44 @@
+// Cluster shape and index math: nodes x GPUs plus the NIC/ToR network.
+//
+// Pure data, like interconnect::NodeTopology one level down. Global GPU
+// indices order GPUs node-major — global = node * gpus_per_node + local — so
+// fault plans and results written against the single-node engine's flat GPU
+// space keep meaning on a cluster.
+#ifndef SRC_DATACENTER_CLUSTER_TOPOLOGY_H_
+#define SRC_DATACENTER_CLUSTER_TOPOLOGY_H_
+
+#include "src/datacenter/cluster.h"
+#include "src/interconnect/topology.h"
+
+namespace orion {
+namespace datacenter {
+
+class ClusterTopology {
+ public:
+  explicit ClusterTopology(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int num_nodes() const { return spec_.num_nodes; }
+  int gpus_per_node() const { return spec_.gpus_per_node; }
+  int total_gpus() const { return spec_.num_nodes * spec_.gpus_per_node; }
+
+  int NodeOfGpu(int global_gpu) const;
+  int LocalGpu(int global_gpu) const;
+  int GlobalGpu(int node, int local_gpu) const;
+
+  // The datacenter network: one kNic link per node to the ToR switch at the
+  // root (interconnect::kHostNode), ready for an interconnect::Fabric.
+  // Endpoint i of the returned topology is cluster node i.
+  interconnect::NodeTopology MakeNetwork() const;
+
+  // The NIC link of `node` in the MakeNetwork() topology.
+  interconnect::LinkId NicLink(int node) const;
+
+ private:
+  ClusterSpec spec_;
+};
+
+}  // namespace datacenter
+}  // namespace orion
+
+#endif  // SRC_DATACENTER_CLUSTER_TOPOLOGY_H_

@@ -1,0 +1,202 @@
+#include "src/datacenter/node_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace datacenter {
+
+NodeEngine::NodeEngine(int node_id, int num_gpus, NodeHost* host)
+    : node_id_(node_id), host_(host) {
+  ORION_CHECK(num_gpus >= 1);
+  ORION_CHECK(host != nullptr);
+  gpus_.resize(static_cast<std::size_t>(num_gpus));
+}
+
+void NodeEngine::MarkDead() {
+  alive_ = false;
+  for (GpuShard& gpu : gpus_) {
+    gpu.alive = false;
+  }
+}
+
+std::optional<int> NodeEngine::BestPlacement(
+    const cluster::JobSignature& job, std::size_t gpu_memory_bytes, int max_replicas_per_gpu,
+    cluster::PlacementEngine::PlacementScore* score) const {
+  std::vector<cluster::GpuResidents> residents(gpus_.size());
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    residents[g].alive = gpus_[g].alive;
+    residents[g].used_bytes = gpus_[g].used_bytes;
+    for (const int slot : gpus_[g].replicas) {
+      const Replica& other = replicas_[static_cast<std::size_t>(slot)];
+      residents[g].jobs.push_back(host_->model_cost(other.model).signature());
+    }
+  }
+  return cluster::PlacementEngine::BestGpuFor(job, residents, gpu_memory_bytes,
+                                              max_replicas_per_gpu, score);
+}
+
+int NodeEngine::CreateReplica(int id, std::size_t model, int local_gpu, bool active,
+                              TimeUs now) {
+  ORION_CHECK(local_gpu >= 0 && local_gpu < num_gpus());
+  const int slot = static_cast<int>(replicas_.size());
+  replicas_.emplace_back(host_->batching_config());
+  Replica& r = replicas_.back();
+  r.id = id;
+  r.model = model;
+  r.node = node_id_;
+  r.gpu = local_gpu;
+  GpuShard& shard = gpus_[static_cast<std::size_t>(local_gpu)];
+  shard.used_bytes += host_->model_cost(model).state_bytes();
+  shard.replicas.push_back(slot);
+  if (active) {
+    r.state = Replica::State::kActive;
+    r.active_since = now;
+  } else {
+    r.state = Replica::State::kProvisioning;
+  }
+  return slot;
+}
+
+void NodeEngine::EnqueueAt(int slot, serving::Request request) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  r.batcher.Enqueue(std::move(request), host_->sim().now());
+  TryDispatch(slot);
+}
+
+void NodeEngine::TryDispatch(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  if (r.busy || r.batcher.empty() ||
+      (r.state != Replica::State::kActive && r.state != Replica::State::kDraining)) {
+    return;
+  }
+  Simulator& sim = host_->sim();
+  if (r.batcher.ShouldDispatch(sim.now())) {
+    sim.Cancel(r.linger);
+    r.dispatch_reason = r.state == Replica::State::kDraining
+                            ? serving::DispatchReason::kDrain
+                            : r.batcher.WhyDispatch(sim.now());
+    StartBatch(slot);
+    return;
+  }
+  // Linger for more requests: wake at the oldest request's delay bound.
+  sim.Cancel(r.linger);
+  r.linger = sim.ScheduleAt(r.batcher.LingerDeadline(), [this, slot] { TryDispatch(slot); });
+}
+
+void NodeEngine::StartBatch(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  const TimeUs now = host_->sim().now();
+  r.batcher.TakeBatchInto(&r.in_flight);  // reuses the replica's buffer
+  for (serving::Request& request : r.in_flight) {
+    request.start_service_us = now;
+  }
+  const int batch = static_cast<int>(r.in_flight.size());
+  const DurationUs service =
+      host_->model_cost(r.model).BatchServiceUs(batch) * Slowdown(r);
+  r.busy = true;
+  r.batch_start = now;
+  r.busy_until = now + service;
+  r.completion =
+      host_->sim().ScheduleAfter(service, [this, slot] { OnBatchComplete(slot); });
+}
+
+void NodeEngine::OnBatchComplete(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  const TimeUs now = host_->sim().now();
+  ++batches_served_;
+  requests_served_ += r.in_flight.size();
+  host_->OnBatchServed(*this, r);  // reads r.in_flight / batch_start / reason
+  r.busy_in_eval_window_us += now - r.batch_start;
+  r.in_flight.clear();
+  r.busy = false;
+  if (r.state == Replica::State::kDraining && r.batcher.empty()) {
+    RetireReplica(slot);
+    return;
+  }
+  TryDispatch(slot);
+}
+
+void NodeEngine::DrainReplica(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  r.state = Replica::State::kDraining;
+  if (!r.busy && r.batcher.empty()) {
+    RetireReplica(slot);
+  }
+}
+
+void NodeEngine::ReleaseFromGpu(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  GpuShard& shard = gpus_[static_cast<std::size_t>(r.gpu)];
+  shard.used_bytes -= host_->model_cost(r.model).state_bytes();
+  shard.replicas.erase(std::find(shard.replicas.begin(), shard.replicas.end(), slot));
+}
+
+void NodeEngine::RetireReplica(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  ORION_CHECK(!r.busy && r.batcher.empty());
+  host_->sim().Cancel(r.linger);
+  host_->AccountReplicaTime(r.active_since);
+  ReleaseFromGpu(slot);
+  r.state = Replica::State::kDead;
+}
+
+std::vector<serving::Request> NodeEngine::KillReplica(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  ORION_CHECK(r.state != Replica::State::kDead);
+  Simulator& sim = host_->sim();
+  sim.Cancel(r.completion);
+  sim.Cancel(r.linger);
+  std::vector<serving::Request> orphans = std::move(r.in_flight);
+  r.in_flight.clear();
+  for (serving::Request& request : r.batcher.Drain()) {
+    orphans.push_back(std::move(request));
+  }
+  const bool was_running =
+      r.state == Replica::State::kActive || r.state == Replica::State::kDraining;
+  if (was_running) {
+    host_->AccountReplicaTime(r.active_since);
+  }
+  r.busy = false;
+  ReleaseFromGpu(slot);
+  r.state = Replica::State::kDead;
+  ++replicas_killed_;
+  return orphans;
+}
+
+DurationUs NodeEngine::OutstandingUs(const Replica& r) const {
+  const serving::BatchCostModel& cost = host_->model_cost(r.model);
+  const serving::BatchingConfig& batching = host_->batching_config();
+  const TimeUs now = host_->sim().now();
+  DurationUs work = r.busy ? std::max(0.0, r.busy_until - now) : 0.0;
+  const std::size_t queued = r.batcher.size();
+  if (queued > 0) {
+    const int batch = std::min<int>(batching.enabled ? batching.max_batch_size : 1,
+                                    static_cast<int>(queued));
+    work += static_cast<double>(queued) * cost.PerRequestUs(batch) * Slowdown(r);
+  }
+  return work;
+}
+
+double NodeEngine::Slowdown(const Replica& r) const {
+  const GpuShard& shard = gpus_[static_cast<std::size_t>(r.gpu)];
+  double pressure = 0.0;
+  for (const int other_slot : shard.replicas) {
+    const Replica& other = replicas_[static_cast<std::size_t>(other_slot)];
+    if (other.id == r.id) {
+      continue;
+    }
+    if (other.state != Replica::State::kActive &&
+        other.state != Replica::State::kDraining) {
+      continue;  // provisioning replicas hold memory but run no kernels yet
+    }
+    pressure += cluster::PairInterference(host_->model_cost(r.model).signature(),
+                                          host_->model_cost(other.model).signature());
+  }
+  return serving::InterferenceSlowdown(host_->model_tier(r.model), pressure);
+}
+
+}  // namespace datacenter
+}  // namespace orion

@@ -51,6 +51,9 @@ void FaultInjector::MarkFault(const FaultEvent& event) {
     case FaultKind::kProfilePoison:
       args.emplace_back("drop_fraction", std::to_string(event.drop_fraction));
       break;
+    case FaultKind::kNodeDown:
+      args.emplace_back("node", std::to_string(event.node));
+      break;
   }
   hub_->spans().Instant(trace_track_, FaultKindName(event.kind), sim_->now(),
                         std::move(args));
@@ -109,6 +112,11 @@ void FaultInjector::Apply(const FaultEvent& event) {
       return;
     case FaultKind::kProfilePoison:
       ApplyProfilePoison(event);
+      return;
+    case FaultKind::kNodeDown:
+      // Node-granularity faults act at the datacenter control plane
+      // (src/datacenter); a single-node injector has no whole-node target.
+      skipped_->Inc();
       return;
   }
   ORION_CHECK_MSG(false, "unhandled fault kind");

@@ -25,6 +25,8 @@ const char* FaultKindName(FaultKind kind) {
       return "client_hang";
     case FaultKind::kProfilePoison:
       return "profile_poison";
+    case FaultKind::kNodeDown:
+      return "node_down";
   }
   return "invalid";
 }
@@ -33,7 +35,7 @@ bool ParseFaultKind(const std::string& name, FaultKind* kind) {
   for (const FaultKind candidate :
        {FaultKind::kDeviceDegrade, FaultKind::kLinkDegrade, FaultKind::kLinkDown,
         FaultKind::kGpuDown, FaultKind::kClientCrash, FaultKind::kClientHang,
-        FaultKind::kProfilePoison}) {
+        FaultKind::kProfilePoison, FaultKind::kNodeDown}) {
     if (name == FaultKindName(candidate)) {
       *kind = candidate;
       return true;
@@ -94,6 +96,9 @@ void SaveFaultPlan(const FaultPlan& plan, std::ostream& os) {
         os << " perturb_factor=" << e.perturb_factor << " drop_fraction=" << e.drop_fraction
            << " seed=" << e.seed;
         break;
+      case FaultKind::kNodeDown:
+        os << " node=" << e.node;
+        break;
     }
     os << "\n";
   }
@@ -138,6 +143,8 @@ FaultPlan LoadFaultPlan(std::istream& is) {
         e.duration_us = std::stod(value);
       } else if (key == "client") {
         e.client = std::stoi(value);
+      } else if (key == "node") {
+        e.node = std::stoi(value);
       } else if (key == "runaway_us") {
         e.runaway_us = std::stod(value);
       } else if (key == "perturb_factor") {

@@ -26,6 +26,11 @@
 //   * kClientHang — the client submits a runaway kernel of `runaway_us` and
 //     stops responding; the scheduler's watchdog must keep DUR_THRESHOLD
 //     accounting from deadlocking schedule_be.
+//   * kNodeDown — a whole server of the datacenter cluster dies at `at_us`
+//     (kernel panic, PSU failure, maintenance gone wrong): every GPU on node
+//     `node` goes with it, its NIC link drops, and the serving control plane
+//     (src/datacenter) re-routes queued, in-flight and in-network requests to
+//     surviving nodes. Ignored by single-node consumers.
 //   * kProfilePoison — every registered workload profile is perturbed:
 //     each kernel entry is dropped with probability `drop_fraction`
 //     (scheduler sees a miss and falls back to the conservative memory-bound
@@ -53,6 +58,7 @@ enum class FaultKind : std::uint8_t {
   kClientCrash,
   kClientHang,
   kProfilePoison,
+  kNodeDown,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -86,6 +92,9 @@ struct FaultEvent {
   // kClientCrash / kClientHang.
   int client = -1;
   DurationUs runaway_us = 0.0;  // kClientHang: duration of the runaway kernel
+
+  // kNodeDown: target node (index into the datacenter ClusterTopology).
+  int node = -1;
 
   // kProfilePoison.
   double perturb_factor = 1.0;

@@ -13,6 +13,8 @@ const char* LinkKindName(LinkKind kind) {
       return "pcie";
     case LinkKind::kNvLink:
       return "nvlink";
+    case LinkKind::kNic:
+      return "nic";
   }
   return "invalid";
 }
@@ -60,6 +62,28 @@ NodeTopology NodeTopology::NvLinkPairs(int num_gpus, double nvlink_gbps, double 
   NodeTopology topo = WithPcieHostLinks(num_gpus, pcie_gbps);
   for (int gpu = 0; gpu + 1 < num_gpus; gpu += 2) {
     topo.AddNvLink(gpu, gpu + 1, nvlink_gbps);
+  }
+  return topo;
+}
+
+NodeTopology NodeTopology::NicStar(int num_endpoints, double nic_gbps,
+                                   double nic_latency_us) {
+  ORION_CHECK(num_endpoints >= 1);
+  ORION_CHECK(nic_gbps > 0.0);
+  ORION_CHECK(nic_latency_us >= 0.0);
+  NodeTopology topo;
+  topo.num_gpus_ = num_endpoints;
+  for (int node = 0; node < num_endpoints; ++node) {
+    Link link;
+    link.id = static_cast<LinkId>(topo.links_.size());
+    link.name = "nic" + std::to_string(node);
+    link.kind = LinkKind::kNic;
+    link.node_a = kHostNode;
+    link.node_b = node;
+    link.gbps = nic_gbps;
+    link.latency_us = nic_latency_us;
+    topo.pcie_links_.push_back(link.id);  // the node's host link (Route uses it)
+    topo.links_.push_back(std::move(link));
   }
   return topo;
 }

@@ -27,7 +27,10 @@ constexpr LinkId kInvalidLink = -1;
 // Node id of the host / PCIe root complex in routes and transfer endpoints.
 constexpr int kHostNode = -1;
 
-enum class LinkKind : std::uint8_t { kPcie, kNvLink };
+// kNic marks datacenter NIC/ToR links: the datacenter layer (src/datacenter)
+// reuses this topology + Fabric at node granularity, with each *node* as an
+// endpoint, its NIC as the host link and the ToR switch as the root.
+enum class LinkKind : std::uint8_t { kPcie, kNvLink, kNic };
 
 const char* LinkKindName(LinkKind kind);
 
@@ -73,6 +76,14 @@ class NodeTopology {
   // NVSwitch-style all-to-all NVLink (every GPU pair directly connected).
   static NodeTopology FullNvLink(int num_gpus, double nvlink_gbps = kDefaultNvLinkGbps,
                                  double pcie_gbps = kDefaultPcieGbps);
+
+  // Datacenter-network star: `num_endpoints` server nodes, each with one
+  // full-duplex NIC link (kNic) to a non-blocking ToR switch at the root
+  // (kHostNode). Endpoint i of this topology is *node* i of a cluster, not a
+  // GPU; the Fabric over it models cross-node traffic with NIC bandwidth and
+  // switch latency in place of PCIe/NVLink numbers.
+  static NodeTopology NicStar(int num_endpoints, double nic_gbps,
+                              double nic_latency_us);
 
   int num_gpus() const { return num_gpus_; }
   const std::vector<Link>& links() const { return links_; }

@@ -24,9 +24,32 @@ double WindowAttainment(const ModelWindowSignals& signals) {
   return static_cast<double>(signals.slo_met) / static_cast<double>(signals.completions);
 }
 
+const char* ScaleReasonName(ScaleReason reason) {
+  switch (reason) {
+    case ScaleReason::kNone:
+      return "none";
+    case ScaleReason::kShedding:
+      return "shedding";
+    case ScaleReason::kAttainment:
+      return "attainment-below-target";
+    case ScaleReason::kUtilizationHigh:
+      return "utilization-high";
+    case ScaleReason::kIdleHealthy:
+      return "idle-and-healthy";
+  }
+  return "unknown";
+}
+
 ScaleDecision Decide(const AutoscalerConfig& config, const ModelWindowSignals& signals) {
+  ScaleReason reason = ScaleReason::kNone;
+  return DecideWithReason(config, signals, &reason);
+}
+
+ScaleDecision DecideWithReason(const AutoscalerConfig& config,
+                               const ModelWindowSignals& signals, ScaleReason* reason) {
   ORION_CHECK(signals.min_replicas >= 0);
   ORION_CHECK(signals.max_replicas >= signals.min_replicas);
+  *reason = ScaleReason::kNone;
   if (!config.enabled) {
     return ScaleDecision::kHold;
   }
@@ -36,12 +59,16 @@ ScaleDecision Decide(const AutoscalerConfig& config, const ModelWindowSignals& s
   const bool overloaded = signals.shed > 0 || attainment < config.target_attainment ||
                           signals.utilization > config.scale_up_utilization;
   if (overloaded && total < signals.max_replicas && signals.pending_replicas == 0) {
+    *reason = signals.shed > 0                             ? ScaleReason::kShedding
+              : attainment < config.target_attainment      ? ScaleReason::kAttainment
+                                                           : ScaleReason::kUtilizationHigh;
     return ScaleDecision::kUp;
   }
 
   const bool healthy = signals.shed == 0 && attainment >= config.target_attainment &&
                        signals.utilization < config.scale_down_utilization;
   if (healthy && signals.pending_replicas == 0 && signals.active_replicas > signals.min_replicas) {
+    *reason = ScaleReason::kIdleHealthy;
     return ScaleDecision::kDown;
   }
   return ScaleDecision::kHold;

@@ -48,12 +48,31 @@ enum class ScaleDecision { kHold, kUp, kDown };
 
 const char* ScaleDecisionName(ScaleDecision decision);
 
+// Which signal drove a decision — exported as the `reason` attribute on the
+// serving control track's scale-up/-down instants so a trace answers not
+// just *that* the fleet scaled but *why*.
+enum class ScaleReason {
+  kNone,             // hold
+  kShedding,         // requests were shed in the window
+  kAttainment,       // window attainment below target
+  kUtilizationHigh,  // mean busy fraction above the scale-up bound
+  kIdleHealthy,      // healthy and idle enough to surrender a replica
+};
+
+const char* ScaleReasonName(ScaleReason reason);
+
 // SLO attainment of the window: slo_met / completions. A window with
 // arrivals but no completions is treated as attainment 0 (the service is
 // drowning); an idle window as attainment 1.
 double WindowAttainment(const ModelWindowSignals& signals);
 
 ScaleDecision Decide(const AutoscalerConfig& config, const ModelWindowSignals& signals);
+
+// As Decide, and reports the dominant signal behind the decision (the first
+// overload trigger in shed → attainment → utilization order; kIdleHealthy
+// for scale-downs, kNone for holds).
+ScaleDecision DecideWithReason(const AutoscalerConfig& config,
+                               const ModelWindowSignals& signals, ScaleReason* reason);
 
 }  // namespace serving
 }  // namespace orion

@@ -7,6 +7,20 @@
 namespace orion {
 namespace serving {
 
+const char* DispatchReasonName(DispatchReason reason) {
+  switch (reason) {
+    case DispatchReason::kBatchingOff:
+      return "batching-off";
+    case DispatchReason::kFullBatch:
+      return "full-batch";
+    case DispatchReason::kLingerExpired:
+      return "linger-expired";
+    case DispatchReason::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
 DynamicBatcher::DynamicBatcher(const BatchingConfig& config) : config_(config) {
   ORION_CHECK(config.max_batch_size >= 1);
   ORION_CHECK(config.max_queue_delay_us >= 0.0);
@@ -14,6 +28,21 @@ DynamicBatcher::DynamicBatcher(const BatchingConfig& config) : config_(config) {
 
 void DynamicBatcher::Enqueue(Request request, TimeUs now) {
   request.enqueue_us = now;
+  if (config_.edf) {
+    // Keep the queue in (deadline, id) order. Insertion from the back: the
+    // common case (deadlines arrive roughly sorted) is O(1).
+    auto pos = queue_.end();
+    while (pos != queue_.begin()) {
+      const Request& prev = *(pos - 1);
+      if (prev.deadline_us < request.deadline_us ||
+          (prev.deadline_us == request.deadline_us && prev.id < request.id)) {
+        break;
+      }
+      --pos;
+    }
+    queue_.insert(pos, request);
+    return;
+  }
   queue_.push_back(request);
 }
 
@@ -30,9 +59,29 @@ bool DynamicBatcher::ShouldDispatch(TimeUs now) const {
   return now >= LingerDeadline();
 }
 
+DispatchReason DynamicBatcher::WhyDispatch(TimeUs now) const {
+  if (!config_.enabled) {
+    return DispatchReason::kBatchingOff;
+  }
+  if (static_cast<int>(queue_.size()) >= config_.max_batch_size) {
+    return DispatchReason::kFullBatch;
+  }
+  (void)now;
+  return DispatchReason::kLingerExpired;
+}
+
 TimeUs DynamicBatcher::LingerDeadline() const {
   ORION_CHECK(!queue_.empty());
-  return queue_.front().enqueue_us + config_.max_queue_delay_us;
+  if (!config_.edf) {
+    return queue_.front().enqueue_us + config_.max_queue_delay_us;
+  }
+  // Deadline order is not enqueue order: scan for the oldest enqueue. EDF
+  // queues are short (bounded by a few batches), so O(n) here is fine.
+  TimeUs oldest = queue_.front().enqueue_us;
+  for (const Request& request : queue_) {
+    oldest = std::min(oldest, request.enqueue_us);
+  }
+  return oldest + config_.max_queue_delay_us;
 }
 
 std::vector<Request> DynamicBatcher::TakeBatch() {

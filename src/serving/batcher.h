@@ -7,6 +7,14 @@
 // the roofline gives (batch_cost.h). With batching disabled every dispatch
 // takes exactly one request.
 //
+// Queue order is FIFO by default. With `edf` set, the queue is kept in
+// earliest-deadline-first order instead (ties break FIFO by request id), so
+// under overload the batch drains the requests that can still make their
+// SLO before the ones that are already doomed — the request-level analogue
+// of deadline scheduling. Linger semantics are unchanged: the bound is
+// still measured from the oldest *enqueue* time in the queue, whatever its
+// position after deadline sorting.
+//
 // The batcher is pure queue logic — the serving engine owns the clock and
 // the linger timers, which keeps this class directly unit-testable.
 #ifndef SRC_SERVING_BATCHER_H_
@@ -25,7 +33,18 @@ struct BatchingConfig {
   bool enabled = true;
   int max_batch_size = 8;
   DurationUs max_queue_delay_us = 2000.0;  // linger bound from oldest enqueue
+  bool edf = false;  // earliest-deadline-first queue order (default FIFO)
 };
+
+// Why a dispatch fired; recorded as the `reason` attribute on batch spans.
+enum class DispatchReason : std::uint8_t {
+  kBatchingOff,    // batching disabled: every free replica takes one request
+  kFullBatch,      // a full batch was waiting
+  kLingerExpired,  // the oldest request hit its queue-delay bound
+  kDrain,          // draining a retiring replica
+};
+
+const char* DispatchReasonName(DispatchReason reason);
 
 class DynamicBatcher {
  public:
@@ -37,11 +56,15 @@ class DynamicBatcher {
   // waiting, the oldest request has lingered long enough, or batching is off.
   bool ShouldDispatch(TimeUs now) const;
 
+  // The reason ShouldDispatch(now) holds. Only meaningful when it does.
+  DispatchReason WhyDispatch(TimeUs now) const;
+
   // Absolute time at which the oldest queued request's linger bound expires.
   // Only meaningful when !empty().
   TimeUs LingerDeadline() const;
 
-  // Removes and returns the next batch (up to max_batch_size requests, FIFO).
+  // Removes and returns the next batch (up to max_batch_size requests, FIFO
+  // or deadline order per config.edf).
   std::vector<Request> TakeBatch();
   // Allocation-free variant for the dispatch hot path: fills `out` (cleared
   // first, capacity retained) with the same batch TakeBatch would return.

@@ -37,14 +37,30 @@ enum class RequestOutcome : std::uint8_t {
   kDropped,    // lost: no surviving or pending replica could take it
 };
 
+// Why a request landed on its replica; recorded as the `route_reason`
+// attribute on request spans so a trace distinguishes a first-choice pick
+// from a failover rehome or a limbo drain.
+enum class RouteReason : std::uint8_t {
+  kOnlyCandidate,      // a single active replica — no choice to make
+  kRoundRobin,         // round-robin cursor pick
+  kLeastOutstanding,   // fewest queued + in-flight
+  kInterferenceAware,  // least slowdown-scaled drain time
+  kFailoverRehome,     // re-routed after its replica or node died
+  kLimboDrain,         // parked in limbo, drained when a replica activated
+};
+
+const char* RouteReasonName(RouteReason reason);
+
 struct Request {
   std::uint64_t id = 0;
   int model = -1;              // index into ServingConfig::models
+  int node = -1;               // datacenter node serving it (-1: single-node)
   TimeUs arrival_us = 0.0;
   TimeUs deadline_us = 0.0;    // arrival + the service's SLO
   TimeUs enqueue_us = 0.0;     // last time it entered a replica queue
   TimeUs start_service_us = 0.0;
   int failovers = 0;           // times re-routed after a replica death
+  RouteReason route_reason = RouteReason::kOnlyCandidate;
   RequestOutcome outcome = RequestOutcome::kPending;
 };
 

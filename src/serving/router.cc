@@ -17,6 +17,39 @@ const char* RoutePolicyName(RoutePolicy policy) {
   return "unknown";
 }
 
+const char* RouteReasonName(RouteReason reason) {
+  switch (reason) {
+    case RouteReason::kOnlyCandidate:
+      return "only-candidate";
+    case RouteReason::kRoundRobin:
+      return "round-robin";
+    case RouteReason::kLeastOutstanding:
+      return "least-outstanding";
+    case RouteReason::kInterferenceAware:
+      return "interference-aware";
+    case RouteReason::kFailoverRehome:
+      return "failover-rehome";
+    case RouteReason::kLimboDrain:
+      return "limbo-drain";
+  }
+  return "unknown";
+}
+
+RouteReason PickReason(RoutePolicy policy, std::size_t num_candidates) {
+  if (num_candidates <= 1) {
+    return RouteReason::kOnlyCandidate;
+  }
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return RouteReason::kRoundRobin;
+    case RoutePolicy::kLeastOutstanding:
+      return RouteReason::kLeastOutstanding;
+    case RoutePolicy::kInterferenceAware:
+      return RouteReason::kInterferenceAware;
+  }
+  return RouteReason::kOnlyCandidate;
+}
+
 Router::Router(RoutePolicy policy, std::size_t num_models)
     : policy_(policy), rr_cursor_(num_models, 0) {}
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/time_types.h"
+#include "src/serving/request.h"
 
 namespace orion {
 namespace serving {
@@ -34,6 +35,10 @@ enum class RoutePolicy : std::uint8_t {
 };
 
 const char* RoutePolicyName(RoutePolicy policy);
+
+// The RouteReason (request.h) a fresh Pick would report, given the
+// candidate count.
+RouteReason PickReason(RoutePolicy policy, std::size_t num_candidates);
 
 // What the router sees of one candidate replica.
 struct ReplicaView {

@@ -1,851 +1,14 @@
 #include "src/serving/serving.h"
 
-#include <algorithm>
-#include <deque>
-#include <memory>
-#include <utility>
-
-#include "src/cluster/placement.h"
-#include "src/common/check.h"
-#include "src/common/rng.h"
-#include "src/serving/batch_cost.h"
-#include "src/sim/simulator.h"
-#include "src/trace/arrivals.h"
+// The serving engine itself lives in src/datacenter/cluster_engine.cc since
+// the datacenter split: a global control plane (arrivals, admission, node
+// routing, limbo, autoscaling, faults, accounting) over per-node engines
+// (src/datacenter/node_engine.h). RunServing is defined there as the
+// num_nodes == 1 special case. This file keeps the pure helpers on the
+// public serving types.
 
 namespace orion {
 namespace serving {
-
-namespace {
-
-std::unique_ptr<trace::ArrivalProcess> MakeArrivals(ArrivalKind kind, double rps) {
-  switch (kind) {
-    case ArrivalKind::kUniform:
-      return trace::MakeUniform(rps);
-    case ArrivalKind::kPoisson:
-      return trace::MakePoisson(rps);
-    case ArrivalKind::kApollo:
-      return trace::MakeApollo(rps);
-  }
-  ORION_CHECK_MSG(false, "unknown arrival kind");
-  return nullptr;
-}
-
-class ServingEngine {
- public:
-  explicit ServingEngine(const ServingConfig& config)
-      : config_(config),
-        router_(config.policy, config.models.size()),
-        admission_(config.admission),
-        horizon_(config.warmup_us + config.duration_us) {
-    ORION_CHECK(config.num_gpus >= 1);
-    ORION_CHECK(config.max_replicas_per_gpu >= 1);
-    ORION_CHECK_MSG(!config.models.empty(), "serving needs at least one model service");
-    gpus_.resize(static_cast<std::size_t>(config.num_gpus));
-    Rng root(config.seed);
-    for (std::size_t m = 0; m < config.models.size(); ++m) {
-      const ModelServiceConfig& cfg = config.models[m];
-      ORION_CHECK(cfg.rps > 0.0);
-      ORION_CHECK(cfg.slo_us > 0.0);
-      ORION_CHECK(cfg.initial_replicas >= 1);
-      ORION_CHECK(cfg.min_replicas >= 1);
-      ORION_CHECK(cfg.max_replicas >= cfg.initial_replicas);
-      models_.push_back(std::make_unique<ModelState>(
-          cfg,
-          BatchCostModel(config.device, cfg.workload,
-                         cfg.tier == PriorityTier::kLatencyCritical,
-                         config.launch_overhead_us),
-          MakeArrivals(cfg.arrivals, cfg.rps), root.Fork(m)));
-    }
-    BindTelemetry();
-  }
-
-  ServingResult Run() {
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      for (int i = 0; i < models_[m]->cfg.initial_replicas; ++i) {
-        ORION_CHECK_MSG(AddReplica(m, /*immediate=*/true),
-                        "initial serving fleet does not fit on the cluster");
-      }
-      ScheduleArrival(m);
-    }
-    ArmFaults();
-    if (config_.autoscaler.enabled) {
-      sim_.ScheduleAfter(config_.autoscaler.eval_period_us, [this] { EvalAutoscaler(); });
-    }
-    sim_.RunUntil(horizon_);
-    return Finalize();
-  }
-
- private:
-  struct ReplicaState {
-    explicit ReplicaState(const BatchingConfig& batching) : batcher(batching) {}
-
-    int id = -1;
-    std::size_t model = 0;
-    int gpu = -1;
-    enum class State { kProvisioning, kActive, kDraining, kDead } state = State::kProvisioning;
-    DynamicBatcher batcher;
-    std::vector<Request> in_flight;
-    bool busy = false;
-    TimeUs busy_until = 0.0;
-    TimeUs batch_start = 0.0;
-    EventHandle completion;
-    EventHandle linger;
-    TimeUs active_since = 0.0;
-    double busy_in_eval_window_us = 0.0;  // autoscaler utilization signal
-  };
-
-  struct GpuState {
-    bool alive = true;
-    std::size_t used_bytes = 0;
-    std::vector<int> replicas;  // ids, all non-dead states
-  };
-
-  struct ModelState {
-    ModelState(const ModelServiceConfig& config, BatchCostModel cost_model,
-               std::unique_ptr<trace::ArrivalProcess> arrival_process, Rng arrival_rng)
-        : cfg(config),
-          cost(std::move(cost_model)),
-          arrivals(std::move(arrival_process)),
-          rng(arrival_rng) {}
-
-    ModelServiceConfig cfg;
-    BatchCostModel cost;
-    std::unique_ptr<trace::ArrivalProcess> arrivals;
-    Rng rng;
-    // Admitted requests with no active replica to queue at (all replicas
-    // provisioning after a failover); drained on the next activation.
-    std::deque<Request> limbo;
-    std::vector<int> replicas;  // every replica id ever created
-
-    // Service label for metrics and trace tracks: the workload name, with a
-    // "#<index>" suffix when two services share a workload.
-    std::string label;
-    telemetry::TrackId track = -1;  // per-request span track; -1 = tracing off
-
-    // All counters are registry instruments labeled {service=label}, bound
-    // in BindTelemetry — the registry is the source of truth the
-    // ServingResult is assembled from, so an exported CSV snapshot
-    // reproduces the run's printed numbers exactly.
-
-    // Whole-run counters (accounting identity).
-    telemetry::Counter* total_offered = nullptr;
-    telemetry::Counter* total_completed = nullptr;
-    telemetry::Counter* total_shed = nullptr;
-    telemetry::Counter* total_dropped = nullptr;
-
-    // Measurement-window counters.
-    telemetry::Counter* offered = nullptr;
-    telemetry::Counter* completed = nullptr;
-    telemetry::Counter* slo_met = nullptr;
-    telemetry::Counter* shed = nullptr;
-    telemetry::Counter* dropped = nullptr;
-    telemetry::Counter* failed_over = nullptr;
-    telemetry::Counter* batches = nullptr;
-    telemetry::Counter* batched_requests = nullptr;
-    telemetry::Histogram* latency = nullptr;   // e2e µs, window only
-    telemetry::Histogram* queueing = nullptr;  // arrival → service start
-
-    // Autoscaler evaluation-window counters (reset every eval period, so
-    // they stay plain fields rather than monotonic registry counters).
-    std::size_t w_arrivals = 0;
-    std::size_t w_completions = 0;
-    std::size_t w_slo_met = 0;
-    std::size_t w_shed = 0;
-  };
-
-  // Binds every instrument against the hub registry (a private registry
-  // when no hub is configured) and registers the trace tracks.
-  void BindTelemetry() {
-    hub_ = config_.telemetry;
-    metrics_ = hub_ != nullptr ? &hub_->metrics() : &local_metrics_;
-    const bool tracing = hub_ != nullptr && hub_->tracing();
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      ModelState& model = *models_[m];
-      model.label = workloads::WorkloadName(model.cfg.workload);
-      for (std::size_t prev = 0; prev < m; ++prev) {
-        if (models_[prev]->label == model.label) {
-          model.label += "#" + std::to_string(m);
-          break;
-        }
-      }
-      const telemetry::Labels by_service = {{"service", model.label}};
-      model.total_offered = metrics_->GetCounter("serving.offered_total", by_service);
-      model.total_completed = metrics_->GetCounter("serving.completed_total", by_service);
-      model.total_shed = metrics_->GetCounter("serving.shed_total", by_service);
-      model.total_dropped = metrics_->GetCounter("serving.dropped_total", by_service);
-      model.offered = metrics_->GetCounter("serving.offered", by_service);
-      model.completed = metrics_->GetCounter("serving.completed", by_service);
-      model.slo_met = metrics_->GetCounter("serving.slo_met", by_service);
-      model.shed = metrics_->GetCounter("serving.shed", by_service);
-      model.dropped = metrics_->GetCounter("serving.dropped", by_service);
-      model.failed_over = metrics_->GetCounter("serving.failed_over", by_service);
-      model.batches = metrics_->GetCounter("serving.batches", by_service);
-      model.batched_requests = metrics_->GetCounter("serving.batched_requests", by_service);
-      model.latency = metrics_->GetHistogram("serving.latency_us", by_service);
-      model.queueing = metrics_->GetHistogram("serving.queueing_us", by_service);
-      if (tracing) {
-        model.track = hub_->spans().Track("service:" + model.label);
-      }
-    }
-    scale_ups_ = metrics_->GetCounter("serving.scale_ups");
-    scale_downs_ = metrics_->GetCounter("serving.scale_downs");
-    scale_failures_ = metrics_->GetCounter("serving.scale_failures");
-    faults_injected_ = metrics_->GetCounter("serving.faults_injected");
-    faults_skipped_ = metrics_->GetCounter("serving.faults_skipped");
-    replicas_lost_ = metrics_->GetCounter("serving.replicas_lost");
-    replacements_ = metrics_->GetCounter("serving.replacements");
-    replacement_failures_ = metrics_->GetCounter("serving.replacement_failures");
-    replica_seconds_ = metrics_->GetCounter("serving.replica_seconds");
-    if (tracing) {
-      control_track_ = hub_->spans().Track("serving-control");
-      gpu_tracks_.reserve(gpus_.size());
-      for (std::size_t g = 0; g < gpus_.size(); ++g) {
-        gpu_tracks_.push_back(hub_->spans().Track("gpu" + std::to_string(g)));
-      }
-    }
-  }
-
-  void Mark(const std::string& name, telemetry::Labels args) {
-    if (control_track_ >= 0) {
-      hub_->spans().Instant(control_track_, name, sim_.now(), std::move(args));
-    }
-  }
-
-  bool InWindow(TimeUs t) const { return t >= config_.warmup_us && t <= horizon_; }
-
-  // --- Arrivals, admission, routing. ---
-
-  void ScheduleArrival(std::size_t m) {
-    ModelState& model = *models_[m];
-    const DurationUs dt = model.arrivals->NextInterarrival(model.rng);
-    sim_.ScheduleAfter(dt, [this, m] {
-      OnArrival(m);
-      ScheduleArrival(m);
-    });
-  }
-
-  void OnArrival(std::size_t m) {
-    ModelState& model = *models_[m];
-    const TimeUs now = sim_.now();
-    Request request;
-    request.id = next_request_id_++;
-    request.model = static_cast<int>(m);
-    request.arrival_us = now;
-    request.deadline_us = now + model.cfg.slo_us;
-    model.total_offered->Inc();
-    ++model.w_arrivals;
-    if (InWindow(now)) {
-      model.offered->Inc();
-    }
-
-    std::vector<ReplicaView> views;
-    std::vector<int> ids;
-    BuildViews(m, &views, &ids);
-    if (views.empty()) {
-      HandleNoReplica(m, std::move(request));
-      return;
-    }
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < views.size(); ++i) {
-      if (views[i].outstanding_us < views[best].outstanding_us) {
-        best = i;
-      }
-    }
-    const DurationUs best_wait = views[best].outstanding_us;
-    const int est_batch = EstimatedBatch(views[best].queued);
-    const DurationUs service = model.cost.BatchServiceUs(est_batch);
-    if (!admission_.Admit(request, model.cfg.tier, best_wait, service)) {
-      request.outcome = RequestOutcome::kShed;
-      model.total_shed->Inc();
-      ++model.w_shed;
-      if (InWindow(now)) {
-        model.shed->Inc();
-      }
-      Mark("shed", {{"service", model.label}});
-      return;
-    }
-    EnqueueAt(ids[router_.Pick(m, views)], std::move(request));
-  }
-
-  // Batch size the next dispatch will likely use (admission's service-time
-  // estimate): the queue ahead plus this request, capped by the batcher.
-  int EstimatedBatch(std::size_t queued_ahead) const {
-    if (!config_.batching.enabled) {
-      return 1;
-    }
-    return std::min<int>(config_.batching.max_batch_size,
-                         static_cast<int>(queued_ahead) + 1);
-  }
-
-  void HandleNoReplica(std::size_t m, Request request) {
-    ModelState& model = *models_[m];
-    if (PendingReplicas(m) > 0) {
-      model.limbo.push_back(std::move(request));
-      return;
-    }
-    model.total_dropped->Inc();
-    if (InWindow(sim_.now())) {
-      model.dropped->Inc();
-    }
-    Mark("drop", {{"service", model.label}});
-  }
-
-  int PendingReplicas(std::size_t m) const {
-    int pending = 0;
-    for (const int id : models_[m]->replicas) {
-      if (replicas_[static_cast<std::size_t>(id)].state == ReplicaState::State::kProvisioning) {
-        ++pending;
-      }
-    }
-    return pending;
-  }
-
-  // Active replicas of `m`, sorted by id (the order replicas were created).
-  void BuildViews(std::size_t m, std::vector<ReplicaView>* views, std::vector<int>* ids) {
-    views->clear();
-    ids->clear();
-    for (const int id : models_[m]->replicas) {
-      const ReplicaState& r = replicas_[static_cast<std::size_t>(id)];
-      if (r.state != ReplicaState::State::kActive) {
-        continue;
-      }
-      ReplicaView view;
-      view.replica_id = id;
-      view.queued = r.batcher.size();
-      view.in_flight = r.in_flight.size();
-      view.outstanding_us = OutstandingUs(r);
-      views->push_back(view);
-      ids->push_back(id);
-    }
-  }
-
-  // Predicted time to drain everything ahead of a new arrival at `r`.
-  DurationUs OutstandingUs(const ReplicaState& r) const {
-    const ModelState& model = *models_[r.model];
-    const TimeUs now = sim_.now();
-    DurationUs work = r.busy ? std::max(0.0, r.busy_until - now) : 0.0;
-    const std::size_t queued = r.batcher.size();
-    if (queued > 0) {
-      const int batch = std::min<int>(config_.batching.enabled
-                                          ? config_.batching.max_batch_size
-                                          : 1,
-                                      static_cast<int>(queued));
-      work += static_cast<double>(queued) * model.cost.PerRequestUs(batch) * Slowdown(r);
-    }
-    return work;
-  }
-
-  // Interference feedback: summed PairInterference with the running
-  // co-residents of r's GPU, mapped through the tier's slowdown curve.
-  double Slowdown(const ReplicaState& r) const {
-    const GpuState& gpu = gpus_[static_cast<std::size_t>(r.gpu)];
-    double pressure = 0.0;
-    for (const int other_id : gpu.replicas) {
-      if (other_id == r.id) {
-        continue;
-      }
-      const ReplicaState& other = replicas_[static_cast<std::size_t>(other_id)];
-      if (other.state != ReplicaState::State::kActive &&
-          other.state != ReplicaState::State::kDraining) {
-        continue;  // provisioning replicas hold memory but run no kernels yet
-      }
-      pressure += cluster::PairInterference(models_[r.model]->cost.signature(),
-                                            models_[other.model]->cost.signature());
-    }
-    return InterferenceSlowdown(models_[r.model]->cfg.tier, pressure);
-  }
-
-  // --- Batching and service. ---
-
-  void EnqueueAt(int replica_id, Request request) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    r.batcher.Enqueue(std::move(request), sim_.now());
-    TryDispatch(replica_id);
-  }
-
-  void TryDispatch(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    if (r.busy || r.batcher.empty() ||
-        (r.state != ReplicaState::State::kActive &&
-         r.state != ReplicaState::State::kDraining)) {
-      return;
-    }
-    if (r.batcher.ShouldDispatch(sim_.now())) {
-      sim_.Cancel(r.linger);
-      StartBatch(replica_id);
-      return;
-    }
-    // Linger for more requests: wake at the oldest request's delay bound.
-    sim_.Cancel(r.linger);
-    r.linger = sim_.ScheduleAt(r.batcher.LingerDeadline(),
-                               [this, replica_id] { TryDispatch(replica_id); });
-  }
-
-  void StartBatch(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    ModelState& model = *models_[r.model];
-    const TimeUs now = sim_.now();
-    r.batcher.TakeBatchInto(&r.in_flight);  // reuses the replica's buffer
-    for (Request& request : r.in_flight) {
-      request.start_service_us = now;
-    }
-    const int batch = static_cast<int>(r.in_flight.size());
-    const DurationUs service = model.cost.BatchServiceUs(batch) * Slowdown(r);
-    r.busy = true;
-    r.batch_start = now;
-    r.busy_until = now + service;
-    r.completion = sim_.ScheduleAfter(service, [this, replica_id] {
-      OnBatchComplete(replica_id);
-    });
-  }
-
-  void OnBatchComplete(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    ModelState& model = *models_[r.model];
-    const TimeUs now = sim_.now();
-    const bool in_window = InWindow(now);
-    const int batch_size = static_cast<int>(r.in_flight.size());
-    for (const Request& request : r.in_flight) {
-      model.total_completed->Inc();
-      ++model.w_completions;
-      const bool met = now <= request.deadline_us;
-      if (met) {
-        ++model.w_slo_met;
-      }
-      if (in_window) {
-        model.completed->Inc();
-        if (met) {
-          model.slo_met->Inc();
-        }
-        model.latency->Add(now - request.arrival_us);
-        model.queueing->Add(request.start_service_us - request.arrival_us);
-      }
-      if (model.track >= 0) {
-        // Request lifecycle: a "request" slice enclosing nested queue and
-        // execute phases, one virtual-thread row per request, plus a flow
-        // arrow from the execute phase to the device batch that served it.
-        const auto row = static_cast<std::int64_t>(request.id);
-        hub_->spans().Complete(model.track, row, "request", request.arrival_us, now,
-                               {{"slo_met", met ? "1" : "0"},
-                                {"failovers", std::to_string(request.failovers)}},
-                               "request");
-        hub_->spans().Complete(model.track, row, "queue", request.arrival_us,
-                               request.start_service_us, {}, "queue");
-        hub_->spans().Complete(model.track, row, "execute", request.start_service_us,
-                               now, {}, "execute");
-        hub_->spans().FlowStart(model.track, row, request.id, request.start_service_us);
-        hub_->spans().FlowEnd(gpu_tracks_[static_cast<std::size_t>(r.gpu)], replica_id,
-                              request.id, r.batch_start);
-      }
-    }
-    if (model.track >= 0) {
-      hub_->spans().Complete(gpu_tracks_[static_cast<std::size_t>(r.gpu)], replica_id,
-                             "batch:" + model.label, r.batch_start, now,
-                             {{"batch_size", std::to_string(batch_size)},
-                              {"replica", std::to_string(replica_id)}},
-                             "batch");
-    }
-    if (in_window) {
-      model.batches->Inc();
-      model.batched_requests->Inc(static_cast<double>(batch_size));
-    }
-    r.busy_in_eval_window_us += now - r.batch_start;
-    r.in_flight.clear();
-    r.busy = false;
-    if (r.state == ReplicaState::State::kDraining && r.batcher.empty()) {
-      RetireReplica(replica_id);
-      return;
-    }
-    TryDispatch(replica_id);
-  }
-
-  // --- Replica lifecycle and placement. ---
-
-  bool AddReplica(std::size_t m, bool immediate = false) {
-    ModelState& model = *models_[m];
-    std::vector<cluster::GpuResidents> residents(gpus_.size());
-    for (std::size_t g = 0; g < gpus_.size(); ++g) {
-      residents[g].alive = gpus_[g].alive;
-      residents[g].used_bytes = gpus_[g].used_bytes;
-      for (const int id : gpus_[g].replicas) {
-        const ReplicaState& other = replicas_[static_cast<std::size_t>(id)];
-        residents[g].jobs.push_back(models_[other.model]->cost.signature());
-      }
-    }
-    const auto gpu = cluster::PlacementEngine::BestGpuFor(
-        model.cost.signature(), residents, config_.device.memory_bytes,
-        config_.max_replicas_per_gpu);
-    if (!gpu.has_value()) {
-      return false;
-    }
-    const int id = static_cast<int>(replicas_.size());
-    replicas_.push_back(ReplicaState(config_.batching));
-    ReplicaState& r = replicas_.back();
-    r.id = id;
-    r.model = m;
-    r.gpu = *gpu;
-    gpus_[static_cast<std::size_t>(*gpu)].used_bytes += model.cost.state_bytes();
-    gpus_[static_cast<std::size_t>(*gpu)].replicas.push_back(id);
-    model.replicas.push_back(id);
-    if (immediate) {
-      r.state = ReplicaState::State::kActive;
-      r.active_since = sim_.now();
-    } else {
-      r.state = ReplicaState::State::kProvisioning;
-      sim_.ScheduleAfter(model.cost.ProvisionUs(), [this, id] { ActivateReplica(id); });
-    }
-    return true;
-  }
-
-  void ActivateReplica(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    if (r.state != ReplicaState::State::kProvisioning) {
-      return;  // killed while provisioning
-    }
-    r.state = ReplicaState::State::kActive;
-    r.active_since = sim_.now();
-    ModelState& model = *models_[r.model];
-    Mark("replica-active", {{"service", model.label},
-                            {"replica", std::to_string(replica_id)},
-                            {"gpu", std::to_string(r.gpu)}});
-    while (!model.limbo.empty()) {
-      Request request = std::move(model.limbo.front());
-      model.limbo.pop_front();
-      std::vector<ReplicaView> views;
-      std::vector<int> ids;
-      BuildViews(r.model, &views, &ids);
-      EnqueueAt(ids[router_.Pick(r.model, views)], std::move(request));
-    }
-  }
-
-  // Stops routing to the least-loaded active replica; it retires once empty.
-  // Returns false when the model has no active replica to remove.
-  bool RemoveOneReplica(std::size_t m) {
-    int victim = -1;
-    std::size_t victim_load = 0;
-    for (const int id : models_[m]->replicas) {
-      const ReplicaState& r = replicas_[static_cast<std::size_t>(id)];
-      if (r.state != ReplicaState::State::kActive) {
-        continue;
-      }
-      const std::size_t load = r.batcher.size() + r.in_flight.size();
-      if (victim < 0 || load < victim_load) {
-        victim = id;
-        victim_load = load;
-      }
-    }
-    if (victim < 0) {
-      return false;
-    }
-    ReplicaState& r = replicas_[static_cast<std::size_t>(victim)];
-    r.state = ReplicaState::State::kDraining;
-    if (!r.busy && r.batcher.empty()) {
-      RetireReplica(victim);
-    }
-    return true;
-  }
-
-  void ReleaseFromGpu(ReplicaState& r) {
-    GpuState& gpu = gpus_[static_cast<std::size_t>(r.gpu)];
-    gpu.used_bytes -= models_[r.model]->cost.state_bytes();
-    gpu.replicas.erase(std::find(gpu.replicas.begin(), gpu.replicas.end(), r.id));
-  }
-
-  void AccountReplicaTime(const ReplicaState& r) {
-    const TimeUs start = std::max(r.active_since, config_.warmup_us);
-    const TimeUs end = std::min(sim_.now(), horizon_);
-    if (end > start) {
-      replica_seconds_->Inc(UsToSec(end - start));
-    }
-  }
-
-  void RetireReplica(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    ORION_CHECK(!r.busy && r.batcher.empty());
-    sim_.Cancel(r.linger);
-    AccountReplicaTime(r);
-    ReleaseFromGpu(r);
-    r.state = ReplicaState::State::kDead;
-  }
-
-  // --- Faults and failover. ---
-
-  void ArmFaults() {
-    for (const fault::FaultEvent& event : config_.fault_plan.events) {
-      switch (event.kind) {
-        case fault::FaultKind::kGpuDown:
-          sim_.ScheduleAt(event.at_us, [this, event] { ApplyGpuDown(event); });
-          break;
-        case fault::FaultKind::kClientCrash:
-          sim_.ScheduleAt(event.at_us, [this, event] { ApplyReplicaCrash(event); });
-          break;
-        default:
-          // Device/link/profile faults act below this abstraction level.
-          faults_skipped_->Inc();
-          break;
-      }
-    }
-  }
-
-  void ApplyGpuDown(const fault::FaultEvent& event) {
-    if (event.gpu < 0 || event.gpu >= static_cast<int>(gpus_.size()) ||
-        !gpus_[static_cast<std::size_t>(event.gpu)].alive) {
-      faults_skipped_->Inc();
-      return;
-    }
-    faults_injected_->Inc();
-    Mark("gpu-down", {{"gpu", std::to_string(event.gpu)}});
-    GpuState& gpu = gpus_[static_cast<std::size_t>(event.gpu)];
-    gpu.alive = false;
-    const std::vector<int> victims = gpu.replicas;  // KillReplica mutates the list
-    for (const int id : victims) {
-      KillReplica(id);
-    }
-  }
-
-  void ApplyReplicaCrash(const fault::FaultEvent& event) {
-    if (event.client < 0 || event.client >= static_cast<int>(replicas_.size()) ||
-        replicas_[static_cast<std::size_t>(event.client)].state ==
-            ReplicaState::State::kDead) {
-      faults_skipped_->Inc();
-      return;
-    }
-    faults_injected_->Inc();
-    KillReplica(event.client);
-  }
-
-  // Replica death: orphaned requests re-route to surviving replicas of the
-  // model (or limbo/drop), and a replacement is provisioned on a surviving
-  // GPU. The batch on the device at the instant of death is lost with it —
-  // its requests restart from the queue of whichever replica inherits them.
-  void KillReplica(int replica_id) {
-    ReplicaState& r = replicas_[static_cast<std::size_t>(replica_id)];
-    ORION_CHECK(r.state != ReplicaState::State::kDead);
-    const std::size_t m = r.model;
-    ModelState& model = *models_[m];
-    sim_.Cancel(r.completion);
-    sim_.Cancel(r.linger);
-    std::vector<Request> orphans = std::move(r.in_flight);
-    r.in_flight.clear();
-    for (Request& request : r.batcher.Drain()) {
-      orphans.push_back(std::move(request));
-    }
-    const bool was_running = r.state == ReplicaState::State::kActive ||
-                             r.state == ReplicaState::State::kDraining;
-    if (was_running) {
-      AccountReplicaTime(r);
-    }
-    r.busy = false;
-    ReleaseFromGpu(r);
-    r.state = ReplicaState::State::kDead;
-    replicas_lost_->Inc();
-    Mark("replica-killed", {{"service", model.label},
-                            {"replica", std::to_string(replica_id)},
-                            {"gpu", std::to_string(r.gpu)}});
-
-    const bool in_window = InWindow(sim_.now());
-    for (Request& request : orphans) {
-      ++request.failovers;
-      if (in_window) {
-        model.failed_over->Inc();
-      }
-      std::vector<ReplicaView> views;
-      std::vector<int> ids;
-      BuildViews(m, &views, &ids);
-      if (views.empty()) {
-        if (PendingReplicas(m) > 0 || (config_.replace_lost_replicas && was_running)) {
-          model.limbo.push_back(std::move(request));
-        } else {
-          model.total_dropped->Inc();
-          if (in_window) {
-            model.dropped->Inc();
-          }
-          Mark("drop", {{"service", model.label}});
-        }
-        continue;
-      }
-      EnqueueAt(ids[router_.Pick(m, views)], std::move(request));
-    }
-
-    if (config_.replace_lost_replicas) {
-      if (AddReplica(m)) {
-        replacements_->Inc();
-      } else {
-        replacement_failures_->Inc();
-      }
-    }
-  }
-
-  // --- Autoscaling. ---
-
-  void EvalAutoscaler() {
-    const TimeUs now = sim_.now();
-    const DurationUs period = config_.autoscaler.eval_period_us;
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      ModelState& model = *models_[m];
-      ModelWindowSignals signals;
-      signals.arrivals = model.w_arrivals;
-      signals.completions = model.w_completions;
-      signals.slo_met = model.w_slo_met;
-      signals.shed = model.w_shed;
-      signals.min_replicas = model.cfg.min_replicas;
-      signals.max_replicas = model.cfg.max_replicas;
-      signals.pending_replicas = PendingReplicas(m);
-      double busy = 0.0;
-      int active = 0;
-      for (const int id : model.replicas) {
-        ReplicaState& r = replicas_[static_cast<std::size_t>(id)];
-        if (r.state != ReplicaState::State::kActive &&
-            r.state != ReplicaState::State::kDraining) {
-          continue;
-        }
-        if (r.busy) {  // account the running batch's elapsed part
-          r.busy_in_eval_window_us += now - r.batch_start;
-          r.batch_start = now;
-        }
-        busy += r.busy_in_eval_window_us;
-        r.busy_in_eval_window_us = 0.0;
-        ++active;
-      }
-      signals.active_replicas = active;
-      signals.utilization = active > 0 ? busy / (period * static_cast<double>(active)) : 0.0;
-
-      switch (Decide(config_.autoscaler, signals)) {
-        case ScaleDecision::kUp:
-          if (AddReplica(m)) {
-            scale_ups_->Inc();
-            Mark("scale-up", {{"service", model.label}});
-          } else {
-            scale_failures_->Inc();
-            Mark("scale-failure", {{"service", model.label}});
-          }
-          break;
-        case ScaleDecision::kDown:
-          if (RemoveOneReplica(m)) {
-            scale_downs_->Inc();
-            Mark("scale-down", {{"service", model.label}});
-          }
-          break;
-        case ScaleDecision::kHold:
-          break;
-      }
-      model.w_arrivals = 0;
-      model.w_completions = 0;
-      model.w_slo_met = 0;
-      model.w_shed = 0;
-    }
-    sim_.ScheduleAfter(period, [this] { EvalAutoscaler(); });
-  }
-
-  // --- Results. ---
-
-  ServingResult Finalize() {
-    ServingResult result;
-    result.window_us = config_.duration_us;
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      ModelState& model = *models_[m];
-      ModelServingResult out;
-      out.name = workloads::WorkloadName(model.cfg.workload);
-      out.tier = model.cfg.tier;
-      out.offered = static_cast<std::size_t>(model.offered->AsCount());
-      out.completed = static_cast<std::size_t>(model.completed->AsCount());
-      out.slo_met = static_cast<std::size_t>(model.slo_met->AsCount());
-      out.shed = static_cast<std::size_t>(model.shed->AsCount());
-      out.dropped = static_cast<std::size_t>(model.dropped->AsCount());
-      out.failed_over = static_cast<std::size_t>(model.failed_over->AsCount());
-      // Clamped: completions of pre-window arrivals can push the windowed
-      // ratio a hair over 1 at light load.
-      out.slo_attainment =
-          out.offered > 0 ? std::min(1.0, static_cast<double>(out.slo_met) /
-                                              static_cast<double>(out.offered))
-                          : 1.0;
-      out.throughput_rps =
-          static_cast<double>(out.completed) / UsToSec(config_.duration_us);
-      out.latency = model.latency->window();
-      out.queueing = model.queueing->window();
-      out.batches = static_cast<std::size_t>(model.batches->AsCount());
-      out.mean_batch_size =
-          out.batches > 0 ? model.batched_requests->value() /
-                                static_cast<double>(out.batches)
-                          : 0.0;
-      out.total_offered = static_cast<std::size_t>(model.total_offered->AsCount());
-      out.total_completed = static_cast<std::size_t>(model.total_completed->AsCount());
-      out.total_shed = static_cast<std::size_t>(model.total_shed->AsCount());
-      out.total_dropped = static_cast<std::size_t>(model.total_dropped->AsCount());
-      std::size_t left = model.limbo.size();
-      for (const int id : model.replicas) {
-        ReplicaState& r = replicas_[static_cast<std::size_t>(id)];
-        left += r.batcher.size() + r.in_flight.size();
-        if (r.state == ReplicaState::State::kActive) {
-          ++out.final_replicas;
-          AccountReplicaTime(r);
-        } else if (r.state == ReplicaState::State::kDraining) {
-          AccountReplicaTime(r);
-        }
-      }
-      out.left_in_system = left;
-      // Export the closing term of the accounting identity so a metrics
-      // snapshot alone can verify
-      //   offered_total == completed_total + shed_total + dropped_total
-      //                    + left_in_system.
-      metrics_->GetGauge("serving.left_in_system", {{"service", model.label}})
-          ->Set(static_cast<double>(left));
-      metrics_->GetGauge("serving.final_replicas", {{"service", model.label}})
-          ->Set(static_cast<double>(out.final_replicas));
-      ORION_CHECK_MSG(out.total_offered == out.total_completed + out.total_shed +
-                                               out.total_dropped + out.left_in_system,
-                      "request accounting identity violated for " << out.name);
-      result.models.push_back(std::move(out));
-    }
-    result.scale_ups = static_cast<std::size_t>(scale_ups_->AsCount());
-    result.scale_downs = static_cast<std::size_t>(scale_downs_->AsCount());
-    result.scale_failures = static_cast<std::size_t>(scale_failures_->AsCount());
-    result.faults_injected = static_cast<std::size_t>(faults_injected_->AsCount());
-    result.faults_skipped = static_cast<std::size_t>(faults_skipped_->AsCount());
-    result.replicas_lost = static_cast<std::size_t>(replicas_lost_->AsCount());
-    result.replacements = static_cast<std::size_t>(replacements_->AsCount());
-    result.replacement_failures =
-        static_cast<std::size_t>(replacement_failures_->AsCount());
-    result.replica_seconds = replica_seconds_->value();
-    for (const GpuState& gpu : gpus_) {
-      if (gpu.alive) {
-        ++result.gpus_alive_end;
-      }
-    }
-    metrics_->GetGauge("serving.gpus_alive")
-        ->Set(static_cast<double>(result.gpus_alive_end));
-    return result;
-  }
-
-  ServingConfig config_;
-  Simulator sim_;
-  Router router_;
-  AdmissionController admission_;
-  TimeUs horizon_;
-  std::vector<GpuState> gpus_;
-  std::vector<std::unique_ptr<ModelState>> models_;
-  std::vector<ReplicaState> replicas_;
-  std::uint64_t next_request_id_ = 0;
-
-  // Telemetry (bound in BindTelemetry; metrics_ falls back to the private
-  // registry when no hub is configured, so the instruments are never null).
-  telemetry::Hub* hub_ = nullptr;
-  telemetry::MetricRegistry local_metrics_;
-  telemetry::MetricRegistry* metrics_ = nullptr;
-  telemetry::TrackId control_track_ = -1;
-  std::vector<telemetry::TrackId> gpu_tracks_;
-  telemetry::Counter* scale_ups_ = nullptr;
-  telemetry::Counter* scale_downs_ = nullptr;
-  telemetry::Counter* scale_failures_ = nullptr;
-  telemetry::Counter* faults_injected_ = nullptr;
-  telemetry::Counter* faults_skipped_ = nullptr;
-  telemetry::Counter* replicas_lost_ = nullptr;
-  telemetry::Counter* replacements_ = nullptr;
-  telemetry::Counter* replacement_failures_ = nullptr;
-  telemetry::Counter* replica_seconds_ = nullptr;  // replica-seconds accrue monotonically
-};
-
-}  // namespace
 
 const char* PriorityTierName(PriorityTier tier) {
   switch (tier) {
@@ -889,11 +52,6 @@ double ServingResult::MeanAttainment() const {
     met += model.slo_met;
   }
   return offered > 0 ? static_cast<double>(met) / static_cast<double>(offered) : 1.0;
-}
-
-ServingResult RunServing(const ServingConfig& config) {
-  ServingEngine engine(config);
-  return engine.Run();
 }
 
 }  // namespace serving

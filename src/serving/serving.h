@@ -41,6 +41,7 @@
 #include "src/serving/batcher.h"
 #include "src/serving/request.h"
 #include "src/serving/router.h"
+#include "src/trace/diurnal.h"
 #include "src/workloads/models.h"
 
 namespace orion {
@@ -48,7 +49,10 @@ namespace serving {
 
 // Open-loop arrival shapes for a service's request stream. (Closed-loop
 // arrivals are a client-side notion and make no sense for a front-end.)
-enum class ArrivalKind : std::uint8_t { kUniform, kPoisson, kApollo };
+// kDiurnal is the non-stationary shape for multi-hour datacenter runs: a
+// sinusoidal daily wave with MMPP bursts (trace::DiurnalArrivals),
+// parameterized by ModelServiceConfig::diurnal.
+enum class ArrivalKind : std::uint8_t { kUniform, kPoisson, kApollo, kDiurnal };
 
 struct ModelServiceConfig {
   workloads::WorkloadSpec workload;  // per-request work; task must be inference
@@ -56,6 +60,9 @@ struct ModelServiceConfig {
   DurationUs slo_us = MsToUs(50.0);
   ArrivalKind arrivals = ArrivalKind::kPoisson;
   double rps = 50.0;
+  // kDiurnal parameters (shape, bursts). When diurnal.mean_rps <= 0 the
+  // service's `rps` above is used as the long-run mean rate.
+  trace::DiurnalConfig diurnal;
   int initial_replicas = 1;
   int min_replicas = 1;
   int max_replicas = 4;
@@ -150,6 +157,10 @@ struct ServingResult {
   double MeanAttainment() const;  // offered-weighted across services
 };
 
+// Runs the single-node serving simulation. Since the datacenter subsystem
+// landed this is the N=1 special case of datacenter::RunCluster (defined in
+// src/datacenter/cluster_engine.cc; callers must link orion_datacenter) and
+// reproduces the pre-split engine's results exactly.
 ServingResult RunServing(const ServingConfig& config);
 
 }  // namespace serving

@@ -7,6 +7,7 @@
 // carried between runs.
 #include <gtest/gtest.h>
 
+#include "src/datacenter/cluster.h"
 #include "src/fault/fault_plan.h"
 #include "src/harness/experiment.h"
 #include "src/harness/multi_gpu.h"
@@ -193,6 +194,58 @@ TEST(DeterminismTest, SameSeedServingRunIsBitIdentical) {
     EXPECT_DOUBLE_EQ(a.models[i].latency.p50(), b.models[i].latency.p50()) << i;
     EXPECT_DOUBLE_EQ(a.models[i].latency.p99(), b.models[i].latency.p99()) << i;
     EXPECT_DOUBLE_EQ(a.models[i].queueing.p99(), b.models[i].queueing.p99()) << i;
+  }
+}
+
+// 8 nodes x 4 GPUs with the NIC/ToR network modeled, diurnal arrivals, and
+// a node death mid-run: the full datacenter stack must stay bit-identical
+// under the same seed, exactly like the single-node engine.
+TEST(DeterminismTest, SameSeedClusterRunIsBitIdentical) {
+  datacenter::ClusterConfig config;
+  config.cluster.num_nodes = 8;
+  config.cluster.gpus_per_node = 4;
+  config.serving = FaultedServingConfig();
+  config.serving.models[0].initial_replicas = 8;
+  config.serving.models[0].max_replicas = 16;
+  config.serving.models[1].arrivals = serving::ArrivalKind::kDiurnal;
+  config.serving.models[1].diurnal.shape.period_us = SecToUs(4.0);
+  config.serving.models[1].diurnal.burst.burst_factor = 3.0;
+  config.serving.models[1].diurnal.burst.burst_fraction = 0.1;
+  fault::FaultEvent node_down;
+  node_down.kind = fault::FaultKind::kNodeDown;
+  node_down.at_us = SecToUs(2.5);
+  node_down.node = 2;
+  config.serving.fault_plan.events.push_back(node_down);
+
+  const datacenter::ClusterResult a = datacenter::RunCluster(config);
+  const datacenter::ClusterResult b = datacenter::RunCluster(config);
+
+  EXPECT_EQ(a.node_faults, 1u);
+  EXPECT_EQ(a.nodes_alive_end, 7u);
+  EXPECT_EQ(a.requests_forwarded, b.requests_forwarded);
+  EXPECT_DOUBLE_EQ(a.request_bytes_moved, b.request_bytes_moved);
+  EXPECT_DOUBLE_EQ(a.response_bytes_moved, b.response_bytes_moved);
+  EXPECT_EQ(a.serving.replicas_lost, b.serving.replicas_lost);
+  EXPECT_EQ(a.serving.replacements, b.serving.replacements);
+  EXPECT_EQ(a.serving.scale_ups, b.serving.scale_ups);
+  EXPECT_DOUBLE_EQ(a.serving.replica_seconds, b.serving.replica_seconds);
+  ASSERT_EQ(a.serving.models.size(), b.serving.models.size());
+  for (std::size_t i = 0; i < a.serving.models.size(); ++i) {
+    EXPECT_EQ(a.serving.models[i].total_offered, b.serving.models[i].total_offered) << i;
+    EXPECT_EQ(a.serving.models[i].total_completed, b.serving.models[i].total_completed)
+        << i;
+    EXPECT_EQ(a.serving.models[i].failed_over, b.serving.models[i].failed_over) << i;
+    EXPECT_EQ(a.serving.models[i].batches, b.serving.models[i].batches) << i;
+    EXPECT_DOUBLE_EQ(a.serving.models[i].latency.p50(), b.serving.models[i].latency.p50())
+        << i;
+    EXPECT_DOUBLE_EQ(a.serving.models[i].latency.p99(), b.serving.models[i].latency.p99())
+        << i;
+  }
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+    EXPECT_EQ(a.nodes[n].requests, b.nodes[n].requests) << n;
+    EXPECT_EQ(a.nodes[n].batches, b.nodes[n].batches) << n;
+    EXPECT_EQ(a.nodes[n].replicas_created, b.nodes[n].replicas_created) << n;
   }
 }
 

@@ -67,6 +67,23 @@ TEST(ReplayArrivalsTest, RecordedApolloTraceReplaysAtSameRate) {
   EXPECT_NEAR(replay.mean_rps(), recorded_rps, 0.05 * recorded_rps);
 }
 
+// ISSUE satellite: a short recording must drive horizons far beyond its own
+// span — the cursor wraps indefinitely and the long-run rate converges to
+// the recording's mean rate.
+TEST(ReplayArrivalsTest, LoopsOverHorizonFarBeyondRecording) {
+  // 1 s of recording at 4 arrivals/s driving a ~15 min horizon.
+  ReplayArrivals replay({0.0, 250e3, 500e3, 750e3, 1e6});
+  Rng rng(1);
+  const TimeUs horizon = SecToUs(900.0);
+  TimeUs t = 0.0;
+  std::size_t count = 0;
+  while (t < horizon) {
+    t += replay.NextInterarrival(rng);
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / UsToSec(horizon), replay.mean_rps(), 0.01);
+}
+
 TEST(ReplayArrivalsDeathTest, NeedsTwoTimestamps) {
   EXPECT_DEATH(ReplayArrivals({42.0}), ">= 2 timestamps");
 }

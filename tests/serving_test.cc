@@ -141,6 +141,77 @@ TEST(BatcherTest, DrainReturnsEverythingInOrder) {
   EXPECT_TRUE(batcher.empty());
 }
 
+Request DeadlineRequest(std::uint64_t id, TimeUs deadline_us) {
+  Request request;
+  request.id = id;
+  request.deadline_us = deadline_us;
+  return request;
+}
+
+// ISSUE satellite: EDF queue order. Under overload (more queued than one
+// batch can take) the batch drains the earliest deadlines first, not FIFO.
+TEST(BatcherTest, EdfDrainsDeadlineOrderUnderOverload) {
+  BatchingConfig config;
+  config.max_batch_size = 2;
+  config.edf = true;
+  DynamicBatcher edf(config);
+  config.edf = false;
+  DynamicBatcher fifo(config);
+  const double deadlines[] = {5000.0, 1000.0, 4000.0, 2000.0, 3000.0};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    edf.Enqueue(DeadlineRequest(i, deadlines[i]), /*now=*/0.0);
+    fifo.Enqueue(DeadlineRequest(i, deadlines[i]), /*now=*/0.0);
+  }
+  // EDF: batches come out in global deadline order across dispatches.
+  auto batch = edf.TakeBatch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0].deadline_us, 1000.0);
+  EXPECT_DOUBLE_EQ(batch[1].deadline_us, 2000.0);
+  batch = edf.TakeBatch();
+  EXPECT_DOUBLE_EQ(batch[0].deadline_us, 3000.0);
+  EXPECT_DOUBLE_EQ(batch[1].deadline_us, 4000.0);
+  // FIFO control: arrival order, deadlines interleaved.
+  batch = fifo.TakeBatch();
+  EXPECT_DOUBLE_EQ(batch[0].deadline_us, 5000.0);
+  EXPECT_DOUBLE_EQ(batch[1].deadline_us, 1000.0);
+}
+
+TEST(BatcherTest, EdfTiesBreakFifoAndLingerTracksOldestEnqueue) {
+  BatchingConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay_us = 1000.0;
+  config.edf = true;
+  DynamicBatcher batcher(config);
+  batcher.Enqueue(DeadlineRequest(7, 500.0), /*now=*/100.0);
+  batcher.Enqueue(DeadlineRequest(8, 500.0), /*now=*/300.0);  // equal deadline
+  batcher.Enqueue(DeadlineRequest(9, 100.0), /*now=*/400.0);  // earliest, last in
+  // Linger bound still runs from the oldest enqueue time (t=100), even
+  // though request 9 sorted to the front.
+  EXPECT_DOUBLE_EQ(batcher.LingerDeadline(), 1100.0);
+  const auto batch = batcher.TakeBatch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 9u);
+  EXPECT_EQ(batch[1].id, 7u);  // tie with 8: FIFO by id
+  EXPECT_EQ(batch[2].id, 8u);
+}
+
+TEST(BatcherTest, WhyDispatchNamesTheTrigger) {
+  BatchingConfig config;
+  config.max_batch_size = 2;
+  config.max_queue_delay_us = 1000.0;
+  DynamicBatcher batcher(config);
+  batcher.Enqueue(MakeRequest(0), 0.0);
+  EXPECT_EQ(batcher.WhyDispatch(1000.0), DispatchReason::kLingerExpired);
+  batcher.Enqueue(MakeRequest(1), 10.0);
+  EXPECT_EQ(batcher.WhyDispatch(10.0), DispatchReason::kFullBatch);
+  config.enabled = false;
+  DynamicBatcher singles(config);
+  singles.Enqueue(MakeRequest(2), 0.0);
+  EXPECT_EQ(singles.WhyDispatch(0.0), DispatchReason::kBatchingOff);
+  EXPECT_STREQ(DispatchReasonName(DispatchReason::kFullBatch), "full-batch");
+  EXPECT_STREQ(DispatchReasonName(DispatchReason::kDrain), "drain");
+}
+
 // --- Router policies. ---
 
 std::vector<ReplicaView> ThreeReplicas() {
@@ -177,6 +248,16 @@ TEST(RouterTest, TiesBreakTowardsLowestIndex) {
   equal[0].replica_id = 5;
   equal[1].replica_id = 9;
   EXPECT_EQ(router.Pick(0, equal), 0u);
+}
+
+TEST(RouterTest, PickReasonMatchesPolicyAndCandidateCount) {
+  EXPECT_EQ(PickReason(RoutePolicy::kRoundRobin, 1), RouteReason::kOnlyCandidate);
+  EXPECT_EQ(PickReason(RoutePolicy::kRoundRobin, 3), RouteReason::kRoundRobin);
+  EXPECT_EQ(PickReason(RoutePolicy::kLeastOutstanding, 3), RouteReason::kLeastOutstanding);
+  EXPECT_EQ(PickReason(RoutePolicy::kInterferenceAware, 2),
+            RouteReason::kInterferenceAware);
+  EXPECT_STREQ(RouteReasonName(RouteReason::kFailoverRehome), "failover-rehome");
+  EXPECT_STREQ(RouteReasonName(RouteReason::kLimboDrain), "limbo-drain");
 }
 
 // --- Admission control. ---
@@ -270,6 +351,32 @@ TEST(AutoscalerTest, ScalesDownOnlyWhenIdleAndHealthy) {
   idle_but_missing.utilization = 0.1;
   idle_but_missing.slo_met = 50;
   EXPECT_NE(Decide(config, idle_but_missing), ScaleDecision::kDown);
+}
+
+TEST(AutoscalerTest, DecideWithReasonExplainsEveryBranch) {
+  AutoscalerConfig config;
+  config.enabled = true;
+  ScaleReason reason = ScaleReason::kNone;
+  auto shed = HealthySignals();
+  shed.shed = 5;
+  EXPECT_EQ(DecideWithReason(config, shed, &reason), ScaleDecision::kUp);
+  EXPECT_EQ(reason, ScaleReason::kShedding);
+  auto missing = HealthySignals();
+  missing.slo_met = 50;
+  EXPECT_EQ(DecideWithReason(config, missing, &reason), ScaleDecision::kUp);
+  EXPECT_EQ(reason, ScaleReason::kAttainment);
+  auto hot = HealthySignals();
+  hot.utilization = 0.95;
+  EXPECT_EQ(DecideWithReason(config, hot, &reason), ScaleDecision::kUp);
+  EXPECT_EQ(reason, ScaleReason::kUtilizationHigh);
+  auto idle = HealthySignals();
+  idle.utilization = 0.1;
+  EXPECT_EQ(DecideWithReason(config, idle, &reason), ScaleDecision::kDown);
+  EXPECT_EQ(reason, ScaleReason::kIdleHealthy);
+  EXPECT_EQ(DecideWithReason(config, HealthySignals(), &reason), ScaleDecision::kHold);
+  EXPECT_EQ(reason, ScaleReason::kNone);
+  EXPECT_STREQ(ScaleReasonName(ScaleReason::kShedding), "shedding");
+  EXPECT_STREQ(ScaleReasonName(ScaleReason::kIdleHealthy), "idle-and-healthy");
 }
 
 TEST(AutoscalerTest, DrowningWindowCountsAsZeroAttainment) {
@@ -509,6 +616,20 @@ TEST(ServingTest, UnsupportedFaultKindsAreSkipped) {
   const ServingResult result = RunServing(config);
   EXPECT_EQ(result.faults_injected, 0u);
   EXPECT_EQ(result.faults_skipped, 1u);
+}
+
+// With one service every deadline is arrival + SLO, so EDF order equals
+// FIFO order and the whole run must be bit-identical — pins down that the
+// EDF sorted insert is order-preserving where it should be.
+TEST(ServingTest, EdfMatchesFifoForUniformSloWithoutFaults) {
+  ServingConfig fifo = OverloadConfig();
+  ServingConfig edf = OverloadConfig();
+  edf.batching.edf = true;
+  const ServingResult a = RunServing(fifo);
+  const ServingResult b = RunServing(edf);
+  EXPECT_EQ(a.models[0].total_completed, b.models[0].total_completed);
+  EXPECT_EQ(a.models[0].slo_met, b.models[0].slo_met);
+  EXPECT_DOUBLE_EQ(a.models[0].latency.p99(), b.models[0].latency.p99());
 }
 
 TEST(ServingTest, InterferenceAwareRoutingBeatsRoundRobinOnContendedFleet) {
