@@ -96,6 +96,17 @@ class ClusterEngine : public NodeHost {
                                   cfg.tier == serving::PriorityTier::kLatencyCritical,
                                   config_.launch_overhead_us),
           MakeArrivals(cfg), root.Fork(m)));
+      if (cfg.llm.enabled) {
+        ORION_CHECK_MSG(cfg.workload.model == workloads::ModelId::kLlmDecode,
+                        "LLM serving requires the kLlmDecode workload");
+        // The cost model's constructor validates the LLM shape parameters.
+        models_.back()->llm_cost = std::make_unique<serving::LlmCostModel>(
+            config_.device, cfg.llm, config_.launch_overhead_us);
+        // Replica state = the weights; the KV cache is carved separately out
+        // of whatever device memory remains at placement (node_engine.cc).
+        models_.back()->cost.OverrideStateBytes(
+            workloads::LlmWeightBytes(cfg.llm.model));
+      }
     }
     rr_node_cursor_.assign(config_.models.size(), 0);
     BindTelemetry();
@@ -130,6 +141,15 @@ class ClusterEngine : public NodeHost {
   serving::PriorityTier model_tier(std::size_t model) const override {
     return models_[model]->cfg.tier;
   }
+  const serving::LlmServiceConfig* model_llm(std::size_t model) const override {
+    const ModelState& state = *models_[model];
+    return state.cfg.llm.enabled ? &state.cfg.llm : nullptr;
+  }
+  const serving::LlmCostModel& model_llm_cost(std::size_t model) const override {
+    ORION_CHECK(models_[model]->llm_cost != nullptr);
+    return *models_[model]->llm_cost;
+  }
+  std::size_t gpu_memory_bytes() const override { return config_.device.memory_bytes; }
 
   void OnBatchServed(NodeEngine& node, Replica& r) override {
     const TimeUs now = sim_.now();
@@ -158,7 +178,65 @@ class ClusterEngine : public NodeHost {
     if (InWindow(now)) {
       model.batches->Inc();
       model.batched_requests->Inc(static_cast<double>(batch_size));
+      if (model.llm_cost != nullptr) {
+        // Request-level LLM baseline: the batch prefilled every sequence and
+        // decoded each to completion (one token from prefill + target more).
+        double tokens = 0.0;
+        for (const Request& request : r.in_flight) {
+          tokens += 1.0 + static_cast<double>(request.target_tokens);
+        }
+        model.tokens->Inc(tokens);
+        model.prefills->Inc(static_cast<double>(batch_size));
+      }
     }
+  }
+
+  void OnDecodeStep(NodeEngine& node, Replica& r, int batch, int prefills, TimeUs start,
+                    TimeUs end) override {
+    ModelState& model = *models_[r.model];
+    const int gpu_global = topo_.GlobalGpu(node.node_id(), r.gpu);
+    if (model.track >= 0) {
+      hub_->spans().Complete(
+          gpu_tracks_[static_cast<std::size_t>(gpu_global)], r.id, "step:" + model.label,
+          start, end,
+          {{"batch_size", std::to_string(batch)},
+           {"prefills", std::to_string(prefills)},
+           {"kv_blocks", std::to_string(r.llm->kv.used_blocks())},
+           {"replica", std::to_string(r.id)}},
+          "decode-step");
+    }
+    if (InWindow(end)) {
+      model.decode_steps->Inc();
+      model.tokens->Inc(static_cast<double>(batch));  // one token per sequence
+      if (prefills > 0) {
+        model.prefills->Inc(static_cast<double>(prefills));
+      }
+      // A step is the device-batch unit of continuous batching: count it so
+      // mean_batch_size reports the mean iteration width.
+      model.batches->Inc();
+      model.batched_requests->Inc(static_cast<double>(batch));
+    }
+  }
+
+  void OnSequenceFinished(NodeEngine& node, Replica& r, const Request& request,
+                          TimeUs step_start, TimeUs step_end) override {
+    const int gpu_global = topo_.GlobalGpu(node.node_id(), r.gpu);
+    if (!NetworkOn()) {
+      CompleteRequest(request, r.id, gpu_global, step_start, step_end, step_end);
+    } else {
+      SendResponse(node.node_id(), r.id, gpu_global, step_start, step_end, request);
+    }
+  }
+
+  void OnKvEviction(NodeEngine& node, Replica& r, const Request& request) override {
+    (void)node;
+    ModelState& model = *models_[r.model];
+    if (InWindow(sim_.now())) {
+      model.kv_evictions->Inc();
+    }
+    Mark("kv-evict", {{"service", model.label},
+                      {"replica", std::to_string(r.id)},
+                      {"request", std::to_string(request.id)}});
   }
 
   void AccountReplicaTime(TimeUs active_since) override {
@@ -180,6 +258,9 @@ class ClusterEngine : public NodeHost {
 
     serving::ModelServiceConfig cfg;
     serving::BatchCostModel cost;
+    // Per-phase LLM costs; null unless cfg.llm.enabled (its presence is the
+    // engine-wide "is this an LLM service" predicate).
+    std::unique_ptr<serving::LlmCostModel> llm_cost;
     std::unique_ptr<trace::ArrivalProcess> arrivals;
     Rng rng;
     // Admitted requests with no active replica to queue at (all replicas
@@ -216,6 +297,15 @@ class ClusterEngine : public NodeHost {
     telemetry::Counter* batched_requests = nullptr;
     telemetry::Histogram* latency = nullptr;   // e2e µs, window only
     telemetry::Histogram* queueing = nullptr;  // arrival → service start
+
+    // LLM per-token instruments; bound only for services with llm.enabled so
+    // a non-LLM run exports exactly the pre-LLM metric set.
+    telemetry::Counter* tokens = nullptr;        // decode tokens in the window
+    telemetry::Counter* prefills = nullptr;      // prefill passes in the window
+    telemetry::Counter* decode_steps = nullptr;  // continuous iterations in the window
+    telemetry::Counter* kv_evictions = nullptr;  // preemptions in the window
+    telemetry::Histogram* ttft = nullptr;        // arrival → first token, µs
+    telemetry::Histogram* tpot = nullptr;        // inter-token µs after the first
 
     // Autoscaler evaluation-window counters (reset every eval period, so
     // they stay plain fields rather than monotonic registry counters).
@@ -274,6 +364,14 @@ class ClusterEngine : public NodeHost {
       model.batched_requests = metrics_->GetCounter("serving.batched_requests", by_service);
       model.latency = metrics_->GetHistogram("serving.latency_us", by_service);
       model.queueing = metrics_->GetHistogram("serving.queueing_us", by_service);
+      if (model.cfg.llm.enabled) {
+        model.tokens = metrics_->GetCounter("serving.tokens", by_service);
+        model.prefills = metrics_->GetCounter("serving.prefills", by_service);
+        model.decode_steps = metrics_->GetCounter("serving.decode_steps", by_service);
+        model.kv_evictions = metrics_->GetCounter("serving.kv_evictions", by_service);
+        model.ttft = metrics_->GetHistogram("serving.ttft_us", by_service);
+        model.tpot = metrics_->GetHistogram("serving.tpot_us", by_service);
+      }
       if (tracing) {
         model.track = hub_->spans().Track("service:" + model.label);
       }
@@ -343,6 +441,18 @@ class ClusterEngine : public NodeHost {
     request.model = static_cast<int>(m);
     request.arrival_us = now;
     request.deadline_us = now + model.cfg.slo_us;
+    if (model.llm_cost != nullptr) {
+      const serving::LlmServiceConfig& llm = model.cfg.llm;
+      request.prompt_tokens = llm.prompt_tokens;
+      request.target_tokens =
+          llm.max_decode_tokens > llm.min_decode_tokens
+              ? static_cast<int>(model.rng.UniformInt(llm.min_decode_tokens,
+                                                      llm.max_decode_tokens))
+              : llm.min_decode_tokens;
+      // Per-token SLOs supersede slo_us: the deadline admission gates on and
+      // EDF queues order by is the TTFT deadline.
+      request.deadline_us = now + llm.ttft_slo_us;
+    }
     model.total_offered->Inc();
     ++model.w_arrivals;
     if (InWindow(now)) {
@@ -366,7 +476,11 @@ class ClusterEngine : public NodeHost {
     }
     const DurationUs best_wait = views[best].outstanding_us;
     const int est_batch = EstimatedBatch(views[best].queued);
-    const DurationUs service = model.cost.BatchServiceUs(est_batch);
+    // LLM admission gates the TTFT deadline: the work between dispatch and
+    // the first token is the prefill (the queue ahead is in best_wait).
+    const DurationUs service = model.llm_cost != nullptr
+                                   ? model.llm_cost->PrefillUs(request.prompt_tokens)
+                                   : model.cost.BatchServiceUs(est_batch);
     if (!admission_.Admit(request, model.cfg.tier, best_wait, service)) {
       request.outcome = RequestOutcome::kShed;
       model.total_shed->Inc();
@@ -597,7 +711,21 @@ class ClusterEngine : public NodeHost {
     ModelState& model = *models_[static_cast<std::size_t>(request.model)];
     model.total_completed->Inc();
     ++model.w_completions;
-    const bool met = complete_us <= request.deadline_us;
+    bool met = complete_us <= request.deadline_us;
+    DurationUs ttft = 0.0;
+    DurationUs tpot = 0.0;
+    if (model.llm_cost != nullptr) {
+      // Per-token SLOs: time-to-first-token and time-per-output-token both
+      // have to hold. TPOT averages the post-first-token stream over the
+      // decode length (a zero-length generation trivially meets it).
+      ORION_CHECK(request.first_token_us >= request.arrival_us);
+      ttft = request.first_token_us - request.arrival_us;
+      tpot = request.target_tokens > 0
+                 ? (complete_us - request.first_token_us) /
+                       static_cast<double>(request.target_tokens)
+                 : 0.0;
+      met = ttft <= model.cfg.llm.ttft_slo_us && tpot <= model.cfg.llm.tpot_slo_us;
+    }
     if (met) {
       ++model.w_slo_met;
     }
@@ -608,6 +736,10 @@ class ClusterEngine : public NodeHost {
       }
       model.latency->Add(complete_us - request.arrival_us);
       model.queueing->Add(request.start_service_us - request.arrival_us);
+      if (model.llm_cost != nullptr) {
+        model.ttft->Add(ttft);
+        model.tpot->Add(tpot);
+      }
     }
     if (model.track >= 0) {
       // Request lifecycle: a "request" slice enclosing nested queue, execute
@@ -615,13 +747,18 @@ class ClusterEngine : public NodeHost {
       // request, plus a flow arrow from the execute phase to the device
       // batch that served it.
       const auto row = static_cast<std::int64_t>(request.id);
+      telemetry::Labels attrs = {
+          {"slo_met", met ? "1" : "0"},
+          {"failovers", std::to_string(request.failovers)},
+          {"node", std::to_string(request.node)},
+          {"replica", std::to_string(replica_id)},
+          {"route_reason", serving::RouteReasonName(request.route_reason)}};
+      if (model.llm_cost != nullptr) {
+        attrs.emplace_back("tokens", std::to_string(1 + request.target_tokens));
+        attrs.emplace_back("kv_evictions", std::to_string(request.evictions));
+      }
       hub_->spans().Complete(model.track, row, "request", request.arrival_us, complete_us,
-                             {{"slo_met", met ? "1" : "0"},
-                              {"failovers", std::to_string(request.failovers)},
-                              {"node", std::to_string(request.node)},
-                              {"replica", std::to_string(replica_id)},
-                              {"route_reason", serving::RouteReasonName(request.route_reason)}},
-                             "request");
+                             std::move(attrs), "request");
       hub_->spans().Complete(model.track, row, "queue", request.arrival_us,
                              request.start_service_us, {}, "queue");
       hub_->spans().Complete(model.track, row, "execute", request.start_service_us,
@@ -981,6 +1118,14 @@ class ClusterEngine : public NodeHost {
           out.batches > 0 ? model.batched_requests->value() /
                                 static_cast<double>(out.batches)
                           : 0.0;
+      if (model.llm_cost != nullptr) {
+        out.tokens = static_cast<std::size_t>(model.tokens->AsCount());
+        out.prefills = static_cast<std::size_t>(model.prefills->AsCount());
+        out.decode_steps = static_cast<std::size_t>(model.decode_steps->AsCount());
+        out.kv_evictions = static_cast<std::size_t>(model.kv_evictions->AsCount());
+        out.ttft = model.ttft->window();
+        out.tpot = model.tpot->window();
+      }
       out.total_offered = static_cast<std::size_t>(model.total_offered->AsCount());
       out.total_completed = static_cast<std::size_t>(model.total_completed->AsCount());
       out.total_shed = static_cast<std::size_t>(model.total_shed->AsCount());

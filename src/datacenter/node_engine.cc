@@ -1,6 +1,7 @@
 #include "src/datacenter/node_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/common/check.h"
@@ -51,6 +52,28 @@ int NodeEngine::CreateReplica(int id, std::size_t model, int local_gpu, bool act
   GpuShard& shard = gpus_[static_cast<std::size_t>(local_gpu)];
   shard.used_bytes += host_->model_cost(model).state_bytes();
   shard.replicas.push_back(slot);
+  if (const serving::LlmServiceConfig* llm = host_->model_llm(model)) {
+    // Carve the replica's KV cache out of whatever device memory remains
+    // free on its GPU (vLLM-style), optionally capped by the service config.
+    const std::size_t memory = host_->gpu_memory_bytes();
+    const std::size_t free = memory > shard.used_bytes ? memory - shard.used_bytes : 0;
+    const std::size_t capacity = llm->kv_capacity_bytes > 0
+                                     ? std::min(llm->kv_capacity_bytes, free)
+                                     : free;
+    serving::KvCacheConfig kv_config;
+    kv_config.block_tokens = llm->kv_block_tokens;
+    kv_config.bytes_per_token = host_->model_llm_cost(model).kv_bytes_per_token();
+    kv_config.capacity_bytes = capacity;
+    r.llm = std::make_unique<Replica::LlmState>(kv_config);
+    r.llm->kv_reserved_bytes = capacity;
+    shard.used_bytes += capacity;
+    // Progress guarantee for the eviction loop: a lone sequence must always
+    // fit, or it could be preempted forever without finishing.
+    const int worst = llm->prompt_tokens + std::max(1, llm->max_decode_tokens);
+    ORION_CHECK_MSG(static_cast<std::size_t>(r.llm->kv.BlocksForTokens(worst)) <=
+                        r.llm->kv.total_blocks(),
+                    "LLM replica KV cache cannot hold one full sequence");
+  }
   if (active) {
     r.state = Replica::State::kActive;
     r.active_since = now;
@@ -72,6 +95,13 @@ void NodeEngine::TryDispatch(int slot) {
       (r.state != Replica::State::kActive && r.state != Replica::State::kDraining)) {
     return;
   }
+  if (r.llm != nullptr && host_->model_llm(r.model)->continuous) {
+    // Iteration-level batching has no linger: a free LLM replica starts its
+    // next step immediately and arrivals join running iterations as steps
+    // complete.
+    TryStepLlm(slot);
+    return;
+  }
   Simulator& sim = host_->sim();
   if (r.batcher.ShouldDispatch(sim.now())) {
     sim.Cancel(r.linger);
@@ -88,6 +118,10 @@ void NodeEngine::TryDispatch(int slot) {
 
 void NodeEngine::StartBatch(int slot) {
   Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  if (r.llm != nullptr) {
+    StartLlmBatch(slot);  // request-level LLM baseline (KV-capped take)
+    return;
+  }
   const TimeUs now = host_->sim().now();
   r.batcher.TakeBatchInto(&r.in_flight);  // reuses the replica's buffer
   for (serving::Request& request : r.in_flight) {
@@ -109,6 +143,13 @@ void NodeEngine::OnBatchComplete(int slot) {
   ++batches_served_;
   requests_served_ += r.in_flight.size();
   host_->OnBatchServed(*this, r);  // reads r.in_flight / batch_start / reason
+  if (r.llm != nullptr) {
+    // Request-level LLM baseline: the whole batch's KV lives until the
+    // longest generation finished, i.e. right now.
+    for (const serving::Request& seq : r.in_flight) {
+      r.llm->kv.Free(seq.id);
+    }
+  }
   r.busy_in_eval_window_us += now - r.batch_start;
   r.in_flight.clear();
   r.busy = false;
@@ -119,10 +160,175 @@ void NodeEngine::OnBatchComplete(int slot) {
   TryDispatch(slot);
 }
 
+// --- Continuous (iteration-level) LLM batching. -----------------------------
+
+void NodeEngine::TryStepLlm(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  if (r.busy ||
+      (r.state != Replica::State::kActive && r.state != Replica::State::kDraining)) {
+    return;
+  }
+  Replica::LlmState& st = *r.llm;
+  const serving::LlmCostModel& cost = host_->model_llm_cost(r.model);
+  Simulator& sim = host_->sim();
+  const TimeUs now = sim.now();
+
+  // 1. Reserve KV for the token every running sequence produces this step,
+  //    preempting the newest sequence (possibly the one being extended) on
+  //    allocation failure. The creation-time capacity check guarantees a
+  //    lone sequence always fits, so this loop terminates with progress.
+  std::size_t i = 0;
+  while (i < r.in_flight.size()) {
+    serving::Request& seq = r.in_flight[i];
+    if (st.kv.TryReserve(seq.id, seq.prompt_tokens + seq.generated + 1)) {
+      ++i;
+      continue;
+    }
+    PreemptNewestLlm(slot);
+  }
+
+  // 2. Join sequences from the queue head while batch slots and KV capacity
+  //    allow; stop at the first that does not fit (head-of-line order is
+  //    what the batcher's FIFO/EDF policy decided).
+  const serving::BatchingConfig& batching = host_->batching_config();
+  const int max_batch = batching.enabled ? batching.max_batch_size : 1;
+  st.joined_this_step = 0;
+  DurationUs prefill_us = 0.0;
+  while (static_cast<int>(r.in_flight.size()) < max_batch && !r.batcher.empty()) {
+    const serving::Request& head = r.batcher.Front();
+    if (!st.kv.TryReserve(head.id, head.prompt_tokens + head.generated + 1)) {
+      break;
+    }
+    serving::Request seq = r.batcher.PopFront();
+    seq.start_service_us = now;
+    // Fresh sequences prefill their prompt; evicted rejoiners recompute
+    // prompt + generated (preemption with recompute).
+    prefill_us += cost.PrefillUs(seq.prompt_tokens + seq.generated);
+    r.in_flight.push_back(std::move(seq));
+    ++st.joined_this_step;
+  }
+  if (r.in_flight.empty()) {
+    if (r.state == Replica::State::kDraining && r.batcher.empty()) {
+      RetireReplica(slot);
+    }
+    return;
+  }
+
+  // 3. One iteration: every joiner's prefill plus one decode step for the
+  //    sequences that were already running.
+  const int decoding = static_cast<int>(r.in_flight.size()) - st.joined_this_step;
+  DurationUs step_us = prefill_us;
+  if (decoding > 0) {
+    long context_sum = 0;
+    for (int d = 0; d < decoding; ++d) {
+      const serving::Request& seq = r.in_flight[static_cast<std::size_t>(d)];
+      context_sum += seq.prompt_tokens + seq.generated;
+    }
+    step_us += cost.DecodeStepUs(decoding, static_cast<int>(context_sum / decoding));
+  }
+  step_us *= Slowdown(r);
+  r.busy = true;
+  r.batch_start = now;
+  r.busy_until = now + step_us;
+  r.dispatch_reason = serving::DispatchReason::kContinuous;
+  r.completion = sim.ScheduleAfter(step_us, [this, slot] { OnLlmStepComplete(slot); });
+}
+
+void NodeEngine::OnLlmStepComplete(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  Replica::LlmState& st = *r.llm;
+  const TimeUs now = host_->sim().now();
+  const TimeUs start = r.batch_start;
+  ++batches_served_;
+  // Every sequence in the step emitted exactly one token: joiners their
+  // first (from the prefill; rejoiners their next, the recompute re-derived
+  // the earlier ones), running sequences their next from the decode step.
+  const std::size_t n = r.in_flight.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    serving::Request& seq = r.in_flight[i];
+    const bool joined = i >= n - static_cast<std::size_t>(st.joined_this_step);
+    if (joined && seq.first_token_us < 0.0) {
+      seq.first_token_us = now;
+    } else {
+      ++seq.generated;
+    }
+  }
+  host_->OnDecodeStep(*this, r, static_cast<int>(n), st.joined_this_step, start, now);
+  st.joined_this_step = 0;
+  r.busy_in_eval_window_us += now - start;
+  r.busy = false;
+  // Finished sequences leave the iteration and release their KV.
+  for (std::size_t i = 0; i < r.in_flight.size();) {
+    if (r.in_flight[i].generated >= r.in_flight[i].target_tokens) {
+      serving::Request seq = std::move(r.in_flight[i]);
+      r.in_flight.erase(r.in_flight.begin() + static_cast<long>(i));
+      st.kv.Free(seq.id);
+      ++requests_served_;
+      host_->OnSequenceFinished(*this, r, seq, start, now);
+    } else {
+      ++i;
+    }
+  }
+  if (r.state == Replica::State::kDraining && r.in_flight.empty() && r.batcher.empty()) {
+    RetireReplica(slot);
+    return;
+  }
+  TryStepLlm(slot);
+}
+
+void NodeEngine::PreemptNewestLlm(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  ORION_CHECK(!r.in_flight.empty());
+  serving::Request seq = std::move(r.in_flight.back());
+  r.in_flight.pop_back();
+  if (r.llm->kv.Holds(seq.id)) {
+    r.llm->kv.Free(seq.id);
+  }
+  ++seq.evictions;
+  host_->OnKvEviction(*this, r, seq);
+  r.batcher.Requeue(std::move(seq));
+}
+
+void NodeEngine::StartLlmBatch(int slot) {
+  Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  Replica::LlmState& st = *r.llm;
+  const serving::LlmCostModel& cost = host_->model_llm_cost(r.model);
+  const TimeUs now = host_->sim().now();
+  const serving::BatchingConfig& batching = host_->batching_config();
+  const int take = batching.enabled ? batching.max_batch_size : 1;
+  r.in_flight.clear();
+  // Request-level batching reserves each sequence's FULL KV footprint up
+  // front (no mid-batch eviction); the batch is capped by what fits.
+  while (static_cast<int>(r.in_flight.size()) < take && !r.batcher.empty()) {
+    const serving::Request& head = r.batcher.Front();
+    const int full = head.prompt_tokens + std::max(1, head.target_tokens);
+    if (!st.kv.TryReserve(head.id, full)) {
+      break;
+    }
+    r.in_flight.push_back(r.batcher.PopFront());
+  }
+  // A free replica's cache is empty, and one full sequence always fits.
+  ORION_CHECK(!r.in_flight.empty());
+  const serving::LlmBatchBreakdown breakdown = cost.RequestLevelBatchUs(r.in_flight);
+  const double slowdown = Slowdown(r);
+  for (serving::Request& seq : r.in_flight) {
+    seq.start_service_us = now;
+    // All prefills run up front; every first token lands when they finish.
+    seq.first_token_us = now + breakdown.prefill_us * slowdown;
+    seq.generated = seq.target_tokens;  // the batch runs to completion
+  }
+  const DurationUs service = breakdown.total_us * slowdown;
+  r.busy = true;
+  r.batch_start = now;
+  r.busy_until = now + service;
+  r.completion =
+      host_->sim().ScheduleAfter(service, [this, slot] { OnBatchComplete(slot); });
+}
+
 void NodeEngine::DrainReplica(int slot) {
   Replica& r = replicas_[static_cast<std::size_t>(slot)];
   r.state = Replica::State::kDraining;
-  if (!r.busy && r.batcher.empty()) {
+  if (!r.busy && r.batcher.empty() && r.in_flight.empty()) {
     RetireReplica(slot);
   }
 }
@@ -131,12 +337,17 @@ void NodeEngine::ReleaseFromGpu(int slot) {
   Replica& r = replicas_[static_cast<std::size_t>(slot)];
   GpuShard& shard = gpus_[static_cast<std::size_t>(r.gpu)];
   shard.used_bytes -= host_->model_cost(r.model).state_bytes();
+  if (r.llm != nullptr) {
+    shard.used_bytes -= r.llm->kv_reserved_bytes;
+  }
   shard.replicas.erase(std::find(shard.replicas.begin(), shard.replicas.end(), slot));
 }
 
 void NodeEngine::RetireReplica(int slot) {
   Replica& r = replicas_[static_cast<std::size_t>(slot)];
   ORION_CHECK(!r.busy && r.batcher.empty());
+  ORION_CHECK_MSG(r.llm == nullptr || r.llm->kv.used_blocks() == 0,
+                  "retiring LLM replica leaks KV-cache blocks");
   host_->sim().Cancel(r.linger);
   host_->AccountReplicaTime(r.active_since);
   ReleaseFromGpu(slot);
@@ -154,6 +365,19 @@ std::vector<serving::Request> NodeEngine::KillReplica(int slot) {
   for (serving::Request& request : r.batcher.Drain()) {
     orphans.push_back(std::move(request));
   }
+  if (r.llm != nullptr) {
+    // The KV cache died with the replica: orphaned sequences recompute from
+    // their prompt wherever they rehome. A first token that had genuinely
+    // been delivered stays delivered; one merely scheduled (request-level
+    // batch still running) is lost with the batch.
+    const TimeUs now = sim.now();
+    for (serving::Request& request : orphans) {
+      request.generated = 0;
+      if (request.first_token_us > now) {
+        request.first_token_us = -1.0;
+      }
+    }
+  }
   const bool was_running =
       r.state == Replica::State::kActive || r.state == Replica::State::kDraining;
   if (was_running) {
@@ -167,16 +391,43 @@ std::vector<serving::Request> NodeEngine::KillReplica(int slot) {
 }
 
 DurationUs NodeEngine::OutstandingUs(const Replica& r) const {
-  const serving::BatchCostModel& cost = host_->model_cost(r.model);
   const serving::BatchingConfig& batching = host_->batching_config();
   const TimeUs now = host_->sim().now();
   DurationUs work = r.busy ? std::max(0.0, r.busy_until - now) : 0.0;
   const std::size_t queued = r.batcher.size();
-  if (queued > 0) {
-    const int batch = std::min<int>(batching.enabled ? batching.max_batch_size : 1,
-                                    static_cast<int>(queued));
-    work += static_cast<double>(queued) * cost.PerRequestUs(batch) * Slowdown(r);
+  if (queued == 0) {
+    return work;
   }
+  const int max_batch = batching.enabled ? batching.max_batch_size : 1;
+  if (r.llm != nullptr) {
+    // Predicted TTFT contribution of routing a new sequence here: the
+    // running step's remainder, plus the queue ahead of it, plus its own
+    // prefill. With continuous batching at most max_batch sequences join
+    // per step, so the queue costs one typical step per join round; the
+    // request-level baseline pays whole straggler-padded batches instead.
+    const serving::LlmCostModel& cost = host_->model_llm_cost(r.model);
+    const serving::LlmServiceConfig& llm = *host_->model_llm(r.model);
+    const double slowdown = Slowdown(r);
+    if (llm.continuous) {
+      const std::size_t rounds = queued / static_cast<std::size_t>(max_batch);
+      work += static_cast<double>(rounds) * cost.TypicalStepUs(max_batch) * slowdown;
+      work += cost.PrefillUs(llm.prompt_tokens) * slowdown;
+    } else {
+      const int est = std::min<int>(max_batch, static_cast<int>(queued));
+      const int mean_target = (llm.min_decode_tokens + llm.max_decode_tokens) / 2;
+      const DurationUs batch_us =
+          static_cast<double>(est) * cost.PrefillUs(llm.prompt_tokens) +
+          static_cast<double>(mean_target) * cost.TypicalStepUs(est);
+      const std::size_t batches =
+          (queued + static_cast<std::size_t>(max_batch) - 1) /
+          static_cast<std::size_t>(max_batch);
+      work += static_cast<double>(batches) * batch_us * slowdown;
+    }
+    return work;
+  }
+  const serving::BatchCostModel& cost = host_->model_cost(r.model);
+  const int batch = std::min<int>(max_batch, static_cast<int>(queued));
+  work += static_cast<double>(queued) * cost.PerRequestUs(batch) * Slowdown(r);
   return work;
 }
 

@@ -20,12 +20,15 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/cluster/placement.h"
 #include "src/serving/batch_cost.h"
 #include "src/serving/batcher.h"
+#include "src/serving/kv_cache.h"
+#include "src/serving/llm_cost.h"
 #include "src/serving/request.h"
 #include "src/sim/simulator.h"
 
@@ -39,6 +42,17 @@ class NodeEngine;
 struct Replica {
   explicit Replica(const serving::BatchingConfig& batching) : batcher(batching) {}
 
+  // Per-replica LLM serving state (services with llm.enabled). The KV cache
+  // is carved out of the replica's GPU memory at creation; `in_flight` then
+  // doubles as the RUNNING SET of the continuous-batching iteration (join
+  // order = age order; the newest sequence is the eviction victim).
+  struct LlmState {
+    explicit LlmState(const serving::KvCacheConfig& kv_config) : kv(kv_config) {}
+    serving::KvCacheAllocator kv;
+    std::size_t kv_reserved_bytes = 0;  // counted against the GPU shard
+    int joined_this_step = 0;  // trailing in_flight entries that prefilled this step
+  };
+
   int id = -1;        // global replica id (creation order across the cluster)
   std::size_t model = 0;
   int node = -1;
@@ -46,6 +60,7 @@ struct Replica {
   enum class State { kProvisioning, kActive, kDraining, kDead } state = State::kProvisioning;
   serving::DynamicBatcher batcher;
   std::vector<serving::Request> in_flight;
+  std::unique_ptr<LlmState> llm;  // null for fixed-cost services
   bool busy = false;
   TimeUs busy_until = 0.0;
   TimeUs batch_start = 0.0;
@@ -72,10 +87,35 @@ class NodeHost {
   virtual const serving::BatchCostModel& model_cost(std::size_t model) const = 0;
   virtual serving::PriorityTier model_tier(std::size_t model) const = 0;
 
+  // LLM serving hooks. model_llm returns null for fixed-cost services;
+  // model_llm_cost may only be called for models where it is non-null.
+  virtual const serving::LlmServiceConfig* model_llm(std::size_t model) const = 0;
+  virtual const serving::LlmCostModel& model_llm_cost(std::size_t model) const = 0;
+  // Per-GPU device memory, the budget replica state + KV caches carve from.
+  virtual std::size_t gpu_memory_bytes() const = 0;
+
   // A batch just finished on `replica` (its in_flight holds the batch, its
   // batch_start/dispatch_reason describe it). The host owns per-request
   // completion accounting, spans, and the response network leg.
   virtual void OnBatchServed(NodeEngine& node, Replica& replica) = 0;
+
+  // One continuous-batching decode step finished on `replica`: `batch`
+  // sequences each emitted one token between `start` and `end`, of which
+  // `prefills` joined (and prefilled) this step. Fires before sequence
+  // completions, so the host sees the step that produced them.
+  virtual void OnDecodeStep(NodeEngine& node, Replica& replica, int batch, int prefills,
+                            TimeUs start, TimeUs end) = 0;
+
+  // `request` finished its generation during the step [step_start, step_end].
+  // The host owns completion accounting (TTFT/TPOT) and the response leg.
+  virtual void OnSequenceFinished(NodeEngine& node, Replica& replica,
+                                  const serving::Request& request, TimeUs step_start,
+                                  TimeUs step_end) = 0;
+
+  // `request` was preempted for KV-cache pressure and requeued; it will
+  // recompute its context from the prompt when it rejoins.
+  virtual void OnKvEviction(NodeEngine& node, Replica& replica,
+                            const serving::Request& request) = 0;
 
   // A replica stopped running (retired or killed) after being active since
   // `active_since`; the host integrates replica-seconds.
@@ -139,6 +179,16 @@ class NodeEngine {
   void TryDispatch(int slot);
   void StartBatch(int slot);
   void OnBatchComplete(int slot);
+  // Continuous (iteration-level) batching, Orca-style: one decode step at a
+  // time; sequences join/leave between steps (DESIGN.md §13).
+  void TryStepLlm(int slot);
+  void OnLlmStepComplete(int slot);
+  // Frees the newest running sequence's KV and requeues it (preemption with
+  // recompute under KV pressure, vLLM-style).
+  void PreemptNewestLlm(int slot);
+  // Request-level LLM batching (llm.continuous off): the baseline where a
+  // batch decodes to its longest target before anything completes.
+  void StartLlmBatch(int slot);
   void RetireReplica(int slot);
   void ReleaseFromGpu(int slot);
 

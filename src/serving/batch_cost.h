@@ -46,6 +46,14 @@ class BatchCostModel {
   // GPU memory one replica pins (weights + activations).
   std::size_t state_bytes() const { return signature_.state_bytes; }
 
+  // Replaces the workload-derived state estimate. LLM services size their
+  // replicas by the model's weights (workloads::LlmWeightBytes): the
+  // workload heuristic bakes in a KV-cache guess that the serving engine now
+  // accounts explicitly per replica, and double-counting it would make a
+  // V100 reject every placement. Placement, provisioning and the GPU memory
+  // shard all read the overridden value.
+  void OverrideStateBytes(std::size_t bytes) { signature_.state_bytes = bytes; }
+
   // Cold-start time of a new replica: process launch plus streaming the
   // model state over PCIe.
   DurationUs ProvisionUs() const;

@@ -17,6 +17,8 @@ const char* DispatchReasonName(DispatchReason reason) {
       return "linger-expired";
     case DispatchReason::kDrain:
       return "drain";
+    case DispatchReason::kContinuous:
+      return "continuous";
   }
   return "unknown";
 }
@@ -105,6 +107,36 @@ std::vector<Request> DynamicBatcher::Drain() {
   std::vector<Request> all(queue_.begin(), queue_.end());
   queue_.clear();
   return all;
+}
+
+const Request& DynamicBatcher::Front() const {
+  ORION_CHECK(!queue_.empty());
+  return queue_.front();
+}
+
+Request DynamicBatcher::PopFront() {
+  ORION_CHECK(!queue_.empty());
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  return request;
+}
+
+void DynamicBatcher::Requeue(Request request) {
+  if (config_.edf) {
+    // Same (deadline, id) order as Enqueue, but scanning from the FRONT:
+    // a requeued sequence's deadline is old, so its slot is near the head.
+    auto pos = queue_.begin();
+    while (pos != queue_.end()) {
+      if (pos->deadline_us > request.deadline_us ||
+          (pos->deadline_us == request.deadline_us && pos->id > request.id)) {
+        break;
+      }
+      ++pos;
+    }
+    queue_.insert(pos, std::move(request));
+    return;
+  }
+  queue_.push_front(std::move(request));
 }
 
 }  // namespace serving

@@ -42,6 +42,7 @@ enum class DispatchReason : std::uint8_t {
   kFullBatch,      // a full batch was waiting
   kLingerExpired,  // the oldest request hit its queue-delay bound
   kDrain,          // draining a retiring replica
+  kContinuous,     // iteration-level LLM step (no linger: steps self-chain)
 };
 
 const char* DispatchReasonName(DispatchReason reason);
@@ -72,6 +73,18 @@ class DynamicBatcher {
 
   // Removes and returns everything queued (failover re-routing).
   std::vector<Request> Drain();
+
+  // Head access for continuous (iteration-level) batching: the engine joins
+  // sequences one at a time, stopping at the first that does not fit in the
+  // KV cache, so it peeks before popping. Only meaningful when !empty().
+  const Request& Front() const;
+  Request PopFront();
+
+  // Puts an evicted (or KV-rejected) sequence back at the head of the line:
+  // front of a FIFO queue, (deadline, id) position under EDF — an evicted
+  // sequence keeps its original deadline, so EDF naturally resumes it before
+  // newer arrivals. enqueue_us is preserved (linger fairness).
+  void Requeue(Request request);
 
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }

@@ -56,12 +56,23 @@ struct Request {
   int model = -1;              // index into ServingConfig::models
   int node = -1;               // datacenter node serving it (-1: single-node)
   TimeUs arrival_us = 0.0;
-  TimeUs deadline_us = 0.0;    // arrival + the service's SLO
+  // Arrival + the service's SLO. For LLM services this is the TTFT deadline
+  // (arrival + ttft_slo_us): EDF queues then order sequences by the per-token
+  // deadline that admission also gates on.
+  TimeUs deadline_us = 0.0;
   TimeUs enqueue_us = 0.0;     // last time it entered a replica queue
   TimeUs start_service_us = 0.0;
   int failovers = 0;           // times re-routed after a replica death
   RouteReason route_reason = RouteReason::kOnlyCandidate;
   RequestOutcome outcome = RequestOutcome::kPending;
+
+  // LLM sequence state (services with ModelServiceConfig::llm.enabled; zero
+  // otherwise). A sequence's live KV context is prompt_tokens + generated.
+  int prompt_tokens = 0;       // prompt length (prefill input)
+  int target_tokens = 0;       // decode tokens this request wants
+  int generated = 0;           // decode tokens produced so far
+  int evictions = 0;           // KV-pressure preemptions (recompute on rejoin)
+  TimeUs first_token_us = -1.0;  // TTFT landmark; < 0 until the first token
 };
 
 }  // namespace serving

@@ -39,6 +39,7 @@
 #include "src/serving/admission.h"
 #include "src/serving/autoscaler.h"
 #include "src/serving/batcher.h"
+#include "src/serving/llm_cost.h"
 #include "src/serving/request.h"
 #include "src/serving/router.h"
 #include "src/trace/diurnal.h"
@@ -58,6 +59,12 @@ struct ModelServiceConfig {
   workloads::WorkloadSpec workload;  // per-request work; task must be inference
   PriorityTier tier = PriorityTier::kLatencyCritical;
   DurationUs slo_us = MsToUs(50.0);
+  // Autoregressive LLM serving (llm.enabled): requests become sequences with
+  // a prefill pass and per-token decode steps, batching turns iteration-level
+  // (llm.continuous), KV-cache memory is accounted per replica, and slo_us is
+  // superseded by the per-token TTFT/TPOT SLOs in `llm`. The workload must be
+  // kLlmDecode (its signature still drives placement and interference).
+  LlmServiceConfig llm;
   ArrivalKind arrivals = ArrivalKind::kPoisson;
   double rps = 50.0;
   // kDiurnal parameters (shape, bursts). When diurnal.mean_rps <= 0 the
@@ -122,6 +129,15 @@ struct ModelServingResult {
   std::size_t batches = 0;              // batches served in the window
   double mean_batch_size = 0.0;
   int final_replicas = 0;       // active at the horizon
+
+  // LLM services only (zero otherwise). slo_met above then counts
+  // completions whose TTFT **and** TPOT SLOs both held.
+  std::size_t tokens = 0;        // decode tokens produced in the window
+  std::size_t prefills = 0;      // sequences prefilled in the window
+  std::size_t decode_steps = 0;  // continuous-batching iterations in the window
+  std::size_t kv_evictions = 0;  // preempt-with-recompute events in the window
+  LatencyRecorder ttft;          // arrival → first token, µs, window only
+  LatencyRecorder tpot;          // mean inter-token µs after the first, window only
 
   std::size_t total_offered = 0;
   std::size_t total_completed = 0;

@@ -182,6 +182,36 @@ void BuildLlmDecode(GraphBuilder& g, const LlmConfig& cfg, int batch) {
   }
 }
 
+// One transformer decoder layer at `rows` query rows attending to `context`
+// KV positions. Shared by the prefill builder (rows = context = prompt) and
+// the decode-step builder (rows = batch, context = cache length).
+void BuildLlmLayer(GraphBuilder& g, const LlmModelConfig& cfg, const std::string& p,
+                   double rows, double context) {
+  const double head_dim = static_cast<double>(cfg.hidden) / cfg.heads;
+  const double ffn = cfg.ffn_mult * cfg.hidden;
+  g.Linear(p + "qkv", rows, cfg.hidden, 3.0 * cfg.hidden);
+  g.Gemm(p + "attn.scores", rows * cfg.heads, context, head_dim);
+  g.Softmax(p + "attn.softmax", rows * cfg.heads, context);
+  g.Gemm(p + "attn.context", rows * cfg.heads, head_dim, context);
+  g.Linear(p + "attn.out", rows, cfg.hidden, cfg.hidden);
+  g.LayerNorm(p + "ln1", rows, cfg.hidden);
+  g.Linear(p + "ffn.fc1", rows, cfg.hidden, ffn);
+  g.Gelu(p + "ffn.gelu", rows * ffn);
+  g.Linear(p + "ffn.fc2", rows, ffn, cfg.hidden);
+  g.LayerNorm(p + "ln2", rows, cfg.hidden);
+}
+
+std::vector<gpusim::KernelDesc> FinishLlmGraph(const gpusim::DeviceSpec& device,
+                                               GraphBuilder& g, std::uint64_t base) {
+  std::vector<KernelWork> work = g.Finish();
+  std::vector<gpusim::KernelDesc> kernels;
+  kernels.reserve(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    kernels.push_back(BuildKernel(device, work[i], base | static_cast<std::uint64_t>(i)));
+  }
+  return kernels;
+}
+
 }  // namespace
 
 const char* ModelName(ModelId model) {
@@ -379,6 +409,68 @@ std::size_t ApproxModelStateBytes(const WorkloadSpec& spec) {
   // Framework/CUDA context overhead.
   const double overhead = 600.0 * 1024 * 1024;
   return static_cast<std::size_t>(param_bytes + act_bytes + overhead);
+}
+
+// --- LLM serving builders (prefill / per-step decode). ----------------------
+//
+// Kernel ids: the serving tier never feeds these into a profiler table, but
+// ids must still be unique within one build. Tag bits 56+ distinguish the
+// two builders from the (model, task) scheme of BuildKernels, and the shape
+// parameters occupy the middle bits so distinct shapes get distinct ids.
+
+std::vector<gpusim::KernelDesc> BuildLlmPrefillKernels(const gpusim::DeviceSpec& device,
+                                                       const LlmModelConfig& cfg,
+                                                       int prompt_tokens) {
+  ORION_CHECK(prompt_tokens >= 1);
+  ORION_CHECK(cfg.layers >= 1 && cfg.hidden >= cfg.heads && cfg.heads >= 1);
+  GraphBuilder g(TaskType::kInference);
+  const double t = prompt_tokens;
+  g.Embedding("prefill.embed", t, cfg.hidden);
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // Full self-attention over the prompt: rows == context == prompt length,
+    // so the GEMMs are square-ish and compute-bound — the phase split §7
+    // (and Orca/vLLM) key on.
+    BuildLlmLayer(g, cfg, "prefill.layer" + std::to_string(layer) + ".", t, t);
+  }
+  // Logits for the last position only: prefill emits exactly one token.
+  g.Linear("prefill.lm_head", 1.0, cfg.hidden, cfg.vocab / 8.0);
+  const std::uint64_t base =
+      (0x70ull << 56) | (static_cast<std::uint64_t>(prompt_tokens) << 20);
+  return FinishLlmGraph(device, g, base);
+}
+
+std::vector<gpusim::KernelDesc> BuildLlmDecodeStepKernels(const gpusim::DeviceSpec& device,
+                                                          const LlmModelConfig& cfg, int batch,
+                                                          int context_tokens) {
+  ORION_CHECK(batch >= 1);
+  ORION_CHECK(context_tokens >= 1);
+  GraphBuilder g(TaskType::kInference);
+  const double b = batch;
+  g.Embedding("decode.embed", b, cfg.hidden);
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // One query row per sequence against the whole KV cache: every Linear
+    // streams its weight matrix for `batch` rows — memory-bound throughout.
+    BuildLlmLayer(g, cfg, "decode.layer" + std::to_string(layer) + ".", b, context_tokens);
+  }
+  g.Linear("decode.lm_head", b, cfg.hidden, cfg.vocab / 8.0);
+  const std::uint64_t base = (0x71ull << 56) |
+                             (static_cast<std::uint64_t>(batch) << 40) |
+                             (static_cast<std::uint64_t>(context_tokens) << 20);
+  return FinishLlmGraph(device, g, base);
+}
+
+std::size_t LlmKvBytesPerToken(const LlmModelConfig& cfg) {
+  // K and V vectors of `hidden` fp32 elements, per layer.
+  return static_cast<std::size_t>(2) * static_cast<std::size_t>(cfg.layers) *
+         static_cast<std::size_t>(cfg.hidden) * 4;
+}
+
+std::size_t LlmWeightBytes(const LlmModelConfig& cfg) {
+  // Per layer: qkv (3h²) + attention out (h²) + fc1/fc2 (2·ffn_mult·h²).
+  const double h = cfg.hidden;
+  const double per_layer = (4.0 + 2.0 * cfg.ffn_mult) * h * h;
+  const double embedding = static_cast<double>(cfg.vocab) * h;
+  return static_cast<std::size_t>((cfg.layers * per_layer + embedding) * 4.0);
 }
 
 }  // namespace workloads

@@ -75,6 +75,46 @@ std::size_t ApproxModelStateBytes(const WorkloadSpec& spec);
 // gradient volume a data-parallel trainer all-reduces every iteration.
 std::size_t ApproxParameterBytes(const WorkloadSpec& spec);
 
+// --- Autoregressive LLM serving (paper §7, ROADMAP "LLM serving"). ---------
+//
+// Continuous-batching serving needs the two phases of autoregressive
+// inference as separate kernel sequences: a PREFILL pass over the whole
+// prompt (large GEMMs, compute-bound) that runs once per sequence, and a
+// per-token DECODE step (skinny GEMMs + KV-cache attention, memory-bound)
+// that runs once per generated token over however many sequences share the
+// iteration. BuildKernels(kLlmDecode) keeps emitting the legacy fixed
+// 8-token request for the collocation benches; the serving engine composes
+// these two builders instead.
+struct LlmModelConfig {
+  int layers = 12;
+  int hidden = 2048;
+  int heads = 16;
+  double ffn_mult = 4.0;  // FFN inner dim = ffn_mult * hidden
+  int vocab = 32000;
+};
+
+// Kernel sequence of one prefill pass over `prompt_tokens` tokens of a
+// single sequence (sequences prefill independently; a step's prefill cost is
+// the sum over its joiners). Compute-bound at realistic prompt lengths.
+std::vector<gpusim::KernelDesc> BuildLlmPrefillKernels(const gpusim::DeviceSpec& device,
+                                                       const LlmModelConfig& cfg,
+                                                       int prompt_tokens);
+
+// Kernel sequence of ONE decode step for `batch` sequences, each attending
+// to a KV cache of `context_tokens`. Memory-bound: every matmul streams the
+// full weight matrix for a handful of rows.
+std::vector<gpusim::KernelDesc> BuildLlmDecodeStepKernels(const gpusim::DeviceSpec& device,
+                                                          const LlmModelConfig& cfg, int batch,
+                                                          int context_tokens);
+
+// KV-cache bytes one token of one sequence pins: K and V vectors per layer,
+// fp32. The unit the serving tier's block allocator (serving/kv_cache.h)
+// accounts device memory in.
+std::size_t LlmKvBytesPerToken(const LlmModelConfig& cfg);
+
+// Resident weight bytes of the decoder (fp32 layers + embedding table).
+std::size_t LlmWeightBytes(const LlmModelConfig& cfg);
+
 }  // namespace workloads
 }  // namespace orion
 

@@ -259,6 +259,94 @@ TEST(DeterminismTest, DifferentSeedServingRunDiffers) {
               a.models[0].latency.p99() != b.models[0].latency.p99());
 }
 
+// --- LLM continuous batching (DESIGN.md §13). ---
+
+// An LLM service under KV pressure (evictions fire) with sampled decode
+// targets: every stochastic LLM path at once.
+serving::ModelServiceConfig LlmServiceConfig() {
+  serving::ModelServiceConfig cfg;
+  cfg.workload = MakeWorkload(ModelId::kLlmDecode, TaskType::kInference);
+  cfg.rps = 120.0;
+  cfg.llm.enabled = true;
+  cfg.llm.model.layers = 4;
+  cfg.llm.model.hidden = 1024;
+  cfg.llm.model.heads = 8;
+  cfg.llm.prompt_tokens = 64;
+  cfg.llm.min_decode_tokens = 4;
+  cfg.llm.max_decode_tokens = 48;
+  cfg.llm.kv_capacity_bytes =
+      workloads::LlmKvBytesPerToken(cfg.llm.model) * static_cast<std::size_t>(250);
+  cfg.llm.ttft_slo_us = MsToUs(50.0);
+  cfg.llm.tpot_slo_us = MsToUs(5.0);
+  cfg.initial_replicas = 2;
+  return cfg;
+}
+
+void ExpectLlmModelsEqual(const serving::ModelServingResult& a,
+                          const serving::ModelServingResult& b) {
+  EXPECT_EQ(a.total_offered, b.total_offered);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.slo_met, b.slo_met);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.prefills, b.prefills);
+  EXPECT_EQ(a.decode_steps, b.decode_steps);
+  EXPECT_EQ(a.kv_evictions, b.kv_evictions);
+  EXPECT_EQ(a.left_in_system, b.left_in_system);
+  EXPECT_DOUBLE_EQ(a.latency.p99(), b.latency.p99());
+  EXPECT_DOUBLE_EQ(a.ttft.p50(), b.ttft.p50());
+  EXPECT_DOUBLE_EQ(a.ttft.p99(), b.ttft.p99());
+  EXPECT_DOUBLE_EQ(a.tpot.p50(), b.tpot.p50());
+  EXPECT_DOUBLE_EQ(a.tpot.p99(), b.tpot.p99());
+}
+
+TEST(DeterminismTest, SameSeedLlmServingRunIsBitIdentical) {
+  serving::ServingConfig config;
+  config.num_gpus = 2;
+  config.warmup_us = SecToUs(0.5);
+  config.duration_us = SecToUs(4.0);
+  config.models = {LlmServiceConfig()};
+
+  const serving::ServingResult a = serving::RunServing(config);
+  const serving::ServingResult b = serving::RunServing(config);
+  ASSERT_GT(a.models[0].kv_evictions, 0u);  // the run actually churns KV
+  ExpectLlmModelsEqual(a.models[0], b.models[0]);
+}
+
+// Multi-node LLM run with a kNodeDown mid-decode: orphaned sequences lose
+// their KV with the node and recompute from the prompt on a survivor. The
+// recovery path must be as deterministic as the steady state.
+TEST(DeterminismTest, SameSeedLlmNodeDownRunIsBitIdentical) {
+  datacenter::ClusterConfig config;
+  config.cluster.num_nodes = 2;
+  config.cluster.gpus_per_node = 2;
+  config.serving.num_gpus = 4;
+  config.serving.warmup_us = SecToUs(0.5);
+  config.serving.duration_us = SecToUs(4.0);
+  config.serving.models = {LlmServiceConfig()};
+  // One replica per GPU: the dying node is guaranteed to hold live decode.
+  config.serving.models[0].initial_replicas = 4;
+  config.serving.models[0].max_replicas = 4;
+  fault::FaultEvent node_down;
+  node_down.kind = fault::FaultKind::kNodeDown;
+  node_down.at_us = SecToUs(2.0);
+  node_down.node = 1;
+  config.serving.fault_plan.events.push_back(node_down);
+
+  const datacenter::ClusterResult a = datacenter::RunCluster(config);
+  const datacenter::ClusterResult b = datacenter::RunCluster(config);
+  EXPECT_EQ(a.node_faults, 1u);
+  EXPECT_GT(a.serving.replicas_lost, 0u);
+  EXPECT_EQ(a.serving.replicas_lost, b.serving.replicas_lost);
+  EXPECT_EQ(a.requests_forwarded, b.requests_forwarded);
+  ExpectLlmModelsEqual(a.serving.models[0], b.serving.models[0]);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+    EXPECT_EQ(a.nodes[n].requests, b.nodes[n].requests) << n;
+    EXPECT_EQ(a.nodes[n].batches, b.nodes[n].batches) << n;
+  }
+}
+
 }  // namespace
 }  // namespace harness
 }  // namespace orion

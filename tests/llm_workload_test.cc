@@ -81,6 +81,95 @@ TEST(LlmWorkloadTest, LargeMemoryFootprint) {
   EXPECT_GT(bytes, std::size_t{1} << 30);
 }
 
+// --- Per-phase builders (continuous-batching serving, DESIGN.md §13). ---
+
+// Duration-weighted compute/memory-bound shares of a kernel list.
+void BoundShares(const std::vector<gpusim::KernelDesc>& kernels, double* compute,
+                 double* memory) {
+  double compute_us = 0.0;
+  double memory_us = 0.0;
+  double total_us = 0.0;
+  for (const auto& kernel : kernels) {
+    total_us += kernel.duration_us;
+    switch (gpusim::ClassifyKernel(kernel)) {
+      case gpusim::ResourceProfile::kComputeBound:
+        compute_us += kernel.duration_us;
+        break;
+      case gpusim::ResourceProfile::kMemoryBound:
+        memory_us += kernel.duration_us;
+        break;
+      case gpusim::ResourceProfile::kUnknown:
+        break;
+    }
+  }
+  *compute = compute_us / total_us;
+  *memory = memory_us / total_us;
+}
+
+TEST(LlmPhaseTest, PrefillIsPredominantlyComputeBound) {
+  // The phase split the serving engine's cost model rides on: prefill runs
+  // square-ish GEMMs over the whole prompt — compute-bound.
+  double compute = 0.0;
+  double memory = 0.0;
+  BoundShares(BuildLlmPrefillKernels(kV100, LlmModelConfig{}, 512), &compute, &memory);
+  EXPECT_GT(compute, 0.5);
+  EXPECT_LT(memory, 0.3);
+}
+
+TEST(LlmPhaseTest, DecodeStepIsPredominantlyMemoryBound) {
+  // One token per sequence streams the full weight matrices for a handful of
+  // rows — memory-bound (§7), whatever the batch width.
+  for (const int batch : {1, 8}) {
+    double compute = 0.0;
+    double memory = 0.0;
+    BoundShares(BuildLlmDecodeStepKernels(kV100, LlmModelConfig{}, batch, 512),
+                &compute, &memory);
+    EXPECT_GT(memory, 0.6) << "batch " << batch;
+    EXPECT_LT(compute, 0.2) << "batch " << batch;
+  }
+}
+
+TEST(LlmPhaseTest, PrefillScalesWithPromptDecodeStepDoesNot) {
+  const auto us = [](const std::vector<gpusim::KernelDesc>& kernels) {
+    double total = 0.0;
+    for (const auto& kernel : kernels) {
+      total += kernel.duration_us;
+    }
+    return total;
+  };
+  const LlmModelConfig cfg;
+  // Prefill is ~linear in prompt tokens; a decode step only grows through
+  // the attention reads over the longer cache, a second-order term.
+  EXPECT_GT(us(BuildLlmPrefillKernels(kV100, cfg, 1024)),
+            3.0 * us(BuildLlmPrefillKernels(kV100, cfg, 256)));
+  EXPECT_LT(us(BuildLlmDecodeStepKernels(kV100, cfg, 4, 1024)),
+            1.5 * us(BuildLlmDecodeStepKernels(kV100, cfg, 4, 256)));
+}
+
+TEST(LlmPhaseTest, KernelIdsAreTaggedByPhase) {
+  // Kernel-id tags let traces distinguish phases: 0x70 prefill, 0x71 decode.
+  for (const auto& kernel : BuildLlmPrefillKernels(kV100, LlmModelConfig{}, 64)) {
+    EXPECT_EQ(kernel.kernel_id >> 56, 0x70u);
+  }
+  for (const auto& kernel : BuildLlmDecodeStepKernels(kV100, LlmModelConfig{}, 2, 64)) {
+    EXPECT_EQ(kernel.kernel_id >> 56, 0x71u);
+  }
+}
+
+TEST(LlmPhaseTest, KvBytesPerTokenAndWeightBytes) {
+  LlmModelConfig cfg;
+  cfg.layers = 12;
+  cfg.hidden = 2048;
+  // K and V vectors, fp32, every layer.
+  EXPECT_EQ(LlmKvBytesPerToken(cfg), 2u * 12u * 2048u * 4u);
+  // Weights: attention (4 h^2) + FFN (2 * ffn_mult h^2) per layer plus the
+  // embedding/lm-head table, fp32.
+  const std::size_t h = 2048;
+  const std::size_t expected =
+      (12u * (4u + 8u) * h * h + 32000u * h) * 4u;
+  EXPECT_EQ(LlmWeightBytes(cfg), expected);
+}
+
 TEST(LlmWorkloadDeathTest, TrainingVariantRejected) {
   EXPECT_DEATH(
       (void)BuildKernels(kV100, MakeWorkload(ModelId::kLlmDecode, TaskType::kTraining)),

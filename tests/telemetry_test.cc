@@ -202,6 +202,45 @@ TEST(ExporterTest, TraceJsonMatchesGoldenFile) {
   EXPECT_EQ(actual, golden.str()) << "actual trace:\n" << actual;
 }
 
+// Golden-file pin of the LLM serving trace vocabulary (DESIGN.md §13): a
+// decode-step slice with batch/prefill/KV-block attributes, a kv-evict
+// marker, and a request slice carrying the per-token attributes. A diff
+// means the LLM span shape changed — update
+// tests/data/telemetry_golden_llm_trace.json deliberately.
+TEST(ExporterTest, LlmTraceJsonMatchesGoldenFile) {
+  SpanTracer tracer;
+  const TrackId svc = tracer.Track("service:llm-decode");
+  const TrackId gpu = tracer.Track("gpu0");
+  tracer.Complete(svc, 7, "request", 0.0, 240.0,
+                  {{"slo_met", "1"},
+                   {"failovers", "0"},
+                   {"node", "0"},
+                   {"replica", "0"},
+                   {"route_reason", "least-outstanding"},
+                   {"tokens", "9"},
+                   {"kv_evictions", "1"}},
+                  "request");
+  tracer.Complete(gpu, 0, "step:llm-decode", 40.0, 80.0,
+                  {{"batch_size", "3"},
+                   {"prefills", "1"},
+                   {"kv_blocks", "15"},
+                   {"replica", "0"}},
+                  "decode-step");
+  tracer.Instant(svc, "kv-evict", 64.0,
+                 {{"service", "llm-decode"}, {"replica", "0"}, {"request", "7"}});
+  std::ostringstream os;
+  WriteChromeTrace(tracer, os);
+  const std::string actual = os.str();
+
+  const std::string path =
+      std::string(ORION_TEST_DATA_DIR) + "/telemetry_golden_llm_trace.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str()) << "actual trace:\n" << actual;
+}
+
 // --- End-to-end determinism: same seed, byte-identical artefacts. ---
 
 serving::ServingConfig SmallServingConfig() {
@@ -237,6 +276,43 @@ TEST(TelemetryDeterminismTest, SameSeedServingRunsExportIdenticalArtefacts) {
   EXPECT_FALSE(traces[0].empty());
   EXPECT_EQ(traces[0], traces[1]);  // byte-identical trace
   EXPECT_EQ(csvs[0], csvs[1]);      // byte-identical metrics snapshot
+}
+
+TEST(TelemetryDeterminismTest, SameSeedLlmServingRunsExportIdenticalArtefacts) {
+  std::string traces[2], csvs[2];
+  for (int run = 0; run < 2; ++run) {
+    Hub hub;
+    hub.EnableTracing();
+    serving::ServingConfig config = SmallServingConfig();
+    serving::ModelServiceConfig& svc = config.models[0];
+    svc.workload = workloads::MakeWorkload(workloads::ModelId::kLlmDecode,
+                                           workloads::TaskType::kInference);
+    svc.llm.enabled = true;
+    svc.llm.model.layers = 4;
+    svc.llm.model.hidden = 1024;
+    svc.llm.model.heads = 8;
+    svc.llm.prompt_tokens = 64;
+    svc.llm.min_decode_tokens = 4;
+    svc.llm.max_decode_tokens = 16;
+    svc.rps = 40.0;
+    config.telemetry = &hub;
+    (void)serving::RunServing(config);
+    std::ostringstream trace_os, csv_os;
+    WriteChromeTrace(hub, trace_os);
+    WriteMetricsCsv(hub.metrics(), csv_os);
+    traces[run] = trace_os.str();
+    csvs[run] = csv_os.str();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(csvs[0], csvs[1]);
+  // The per-token instruments and the iteration-level span vocabulary are
+  // present in the artefacts (bound only for llm.enabled services).
+  EXPECT_NE(csvs[0].find("serving.ttft_us"), std::string::npos);
+  EXPECT_NE(csvs[0].find("serving.tpot_us"), std::string::npos);
+  EXPECT_NE(csvs[0].find("serving.tokens"), std::string::npos);
+  EXPECT_NE(csvs[0].find("serving.decode_steps"), std::string::npos);
+  EXPECT_NE(traces[0].find("decode-step"), std::string::npos);
+  EXPECT_NE(traces[0].find("step:llm-decode"), std::string::npos);
 }
 
 }  // namespace
