@@ -37,6 +37,9 @@ struct BenchArgs {
   double window_scale = 1.0; // --window-scale=X: multiply both windows by X
   std::string trace_out;     // --trace-out=P: write a Chrome/Perfetto trace
   std::string metrics_out;   // --metrics-out=P: write a metrics CSV snapshot
+  double flush_period_ms = 0.0;  // --flush-period-ms=X: stream exports during
+                                 // the run every X ms of sim time (0 = only
+                                 // at the end)
 };
 
 inline BenchArgs& GlobalBenchArgs() {
@@ -71,15 +74,23 @@ inline void ParseBenchArgs(int* argc, char** argv) {
       args.metrics_out = std::string(arg.substr(14));
     } else if (arg == "--metrics-out" && i + 1 < *argc) {
       args.metrics_out = argv[++i];
+    } else if (arg.rfind("--flush-period-ms=", 0) == 0) {
+      args.flush_period_ms = std::strtod(argv[i] + 18, nullptr);
+      if (args.flush_period_ms < 0.0) {
+        std::cerr << "--flush-period-ms must be >= 0\n";
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "Usage: " << argv[0]
                 << " [--quick] [--seed=N] [--window-scale=X]"
-                   " [--trace-out=P] [--metrics-out=P]\n"
+                   " [--trace-out=P] [--metrics-out=P] [--flush-period-ms=X]\n"
                 << "  --quick           ~8x shorter measurement windows (CI smoke)\n"
                 << "  --seed=N          experiment seed (default 42)\n"
                 << "  --window-scale=X  multiply warmup+measurement windows by X\n"
                 << "  --trace-out=P     write a Chrome/Perfetto trace of one run to P\n"
-                << "  --metrics-out=P   write that run's metrics snapshot as CSV to P\n";
+                << "  --metrics-out=P   write that run's metrics snapshot as CSV to P\n"
+                << "  --flush-period-ms=X  also rewrite those artefacts every X ms of\n"
+                   "                    simulated time during the run (streaming export)\n";
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       argv[kept++] = argv[i];  // google-benchmark flag: leave for the caller
@@ -112,6 +123,18 @@ inline void ExportTelemetry(telemetry::Hub& hub) {
     telemetry::ExportMetricsCsv(hub.metrics(), args.metrics_out);
     std::cout << "wrote metrics: " << args.metrics_out << "\n";
   }
+}
+
+// Streaming-export options for the instrumented arm: folds the
+// --flush-period-ms / --trace-out / --metrics-out flags into the harness's
+// telemetry_flush config (disabled unless all relevant flags were given).
+inline telemetry::StreamingExporter::Options FlushOptions() {
+  const BenchArgs& args = GlobalBenchArgs();
+  telemetry::StreamingExporter::Options options;
+  options.period_us = MsToUs(args.flush_period_ms);
+  options.trace_path = args.trace_out;
+  options.metrics_path = args.metrics_out;
+  return options;
 }
 
 // Standard windows with --quick / --window-scale applied.

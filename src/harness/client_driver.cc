@@ -162,6 +162,17 @@ void ClientDriver::StartNextRequest() {
   current_start_ = sim_->now();
   next_op_ = 0;
   ++next_request_id_;
+  if (pager_ != nullptr && pager_->IsRegistered(id_)) {
+    // Touch the working set before the request's first kernel; the fault
+    // stall (if any) lands in the service-time component of latency.
+    pager_->Access(static_cast<int>(id_), [this]() {
+      if (crashed_) {
+        return;  // process died while its pages were in flight
+      }
+      SubmitNextOp();
+    });
+    return;
+  }
   SubmitNextOp();
 }
 

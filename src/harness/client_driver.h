@@ -19,6 +19,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/core/scheduler.h"
+#include "src/memsub/pager.h"
 #include "src/trace/arrivals.h"
 #include "src/workloads/models.h"
 
@@ -45,6 +46,14 @@ struct ClientConfig {
   // client, an over-capacity collocation is rejected (the paper's §5.1.3
   // assumption that the cluster manager only collocates fitting jobs).
   bool allow_swapping = false;
+
+  // Unified-memory paging (src/memsub): hot fraction of this client's
+  // registered footprint touched at the start of every request. The
+  // registration itself always covers the full ApproxModelStateBytes
+  // footprint (allocator slack, cold activations, checkpoints), but a
+  // request only faults on its hot set — params + live activations.
+  // Negative inherits PagingOptions::working_set_fraction.
+  double paging_ws_fraction = -1.0;
 };
 
 class ClientDriver {
@@ -56,6 +65,12 @@ class ClientDriver {
                DurationUs op_overhead_us, Rng rng, std::size_t swap_bytes_per_request = 0);
 
   void Start();
+
+  // Unified-memory paging (src/memsub): when set and the client is
+  // registered with the pager, every request begins by touching the working
+  // set — faulted pages stall the request (counted as service time) until
+  // their PCIe fault-in transfers land. Call before Start().
+  void set_pager(memsub::UnifiedMemoryPager* pager) { pager_ = pager; }
 
   // --- Fault injection (src/fault). ---
   // Process death: no further arrivals, submissions, or latency records.
@@ -94,6 +109,7 @@ class ClientDriver {
 
   Simulator* sim_;
   core::Scheduler* scheduler_;
+  memsub::UnifiedMemoryPager* pager_ = nullptr;
   core::ClientId id_;
   ClientConfig config_;
   DurationUs op_overhead_us_;

@@ -7,10 +7,13 @@
 #include "src/baselines/reef.h"
 #include "src/baselines/temporal.h"
 #include "src/baselines/ticktock.h"
+#include "src/baselines/time_quantum.h"
 #include "src/common/check.h"
 #include "src/fault/fault_injector.h"
+#include "src/memsub/pager.h"
 #include "src/runtime/gpu_runtime.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/exporters.h"
 
 namespace orion {
 namespace harness {
@@ -33,12 +36,15 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "ticktock";
     case SchedulerKind::kOrion:
       return "orion";
+    case SchedulerKind::kTimeQuantum:
+      return "nvshare-tq";
   }
   return "invalid";
 }
 
 std::unique_ptr<core::Scheduler> MakeScheduler(SchedulerKind kind,
-                                               const core::OrionOptions& orion_options) {
+                                               const core::OrionOptions& orion_options,
+                                               const baselines::TimeQuantumOptions& tq_options) {
   switch (kind) {
     case SchedulerKind::kDedicated:
       // Per-device pass-through; RunExperiment instantiates one per client.
@@ -58,6 +64,8 @@ std::unique_ptr<core::Scheduler> MakeScheduler(SchedulerKind kind,
       return std::make_unique<baselines::TickTockScheduler>();
     case SchedulerKind::kOrion:
       return std::make_unique<core::OrionScheduler>(orion_options);
+    case SchedulerKind::kTimeQuantum:
+      return std::make_unique<baselines::TimeQuantumScheduler>(tq_options);
   }
   ORION_CHECK_MSG(false, "unhandled scheduler kind");
   return nullptr;
@@ -106,19 +114,25 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   // --- Memory admission (§5.1.3). Shared-GPU collocations must fit in
   // device memory; best-effort clients with allow_swapping absorb any
   // overflow by streaming state in per request (layer-by-layer offloading).
+  // With unified-memory paging enabled (src/memsub) the admission check is
+  // waived instead: the pager admits any footprint and services the overflow
+  // as demand faults.
   const bool shares_gpu = config.scheduler != SchedulerKind::kDedicated &&
                           config.scheduler != SchedulerKind::kMig;
+  const bool paging = config.paging.enabled && shares_gpu;
   std::vector<std::size_t> swap_bytes(config.clients.size(), 0);
+  std::vector<std::size_t> state(config.clients.size(), 0);
   std::size_t memory_deficit = 0;
   if (shares_gpu) {
     std::size_t total_state = 0;
-    std::vector<std::size_t> state(config.clients.size(), 0);
     for (std::size_t i = 0; i < config.clients.size(); ++i) {
       state[i] = workloads::ApproxModelStateBytes(config.clients[i].workload);
       total_state += state[i];
     }
     if (total_state > config.device.memory_bytes) {
       memory_deficit = total_state - config.device.memory_bytes;
+    }
+    if (memory_deficit > 0 && !paging) {
       std::size_t swapper_state = 0;
       for (std::size_t i = 0; i < config.clients.size(); ++i) {
         if (config.clients[i].allow_swapping && !config.clients[i].high_priority) {
@@ -143,6 +157,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
   std::vector<std::unique_ptr<core::Scheduler>> schedulers;
   std::vector<std::unique_ptr<ClientDriver>> drivers;
+  std::unique_ptr<memsub::UnifiedMemoryPager> pager;
   Rng root_rng(config.seed);
 
   const bool dedicated = config.scheduler == SchedulerKind::kDedicated;
@@ -169,7 +184,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       if (config.telemetry != nullptr && config.telemetry->tracing()) {
         config.telemetry->kernels().RecordInto(rt->device(), "gpu" + std::to_string(i));
       }
-      auto sched = MakeScheduler(config.scheduler, config.orion);
+      auto sched = MakeScheduler(config.scheduler, config.orion, config.time_quantum);
       sched->set_telemetry(config.telemetry);
       core::SchedClientInfo info;
       info.id = i;
@@ -189,7 +204,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     if (config.telemetry != nullptr && config.telemetry->tracing()) {
       config.telemetry->kernels().RecordInto(rt->device(), "gpu0");
     }
-    auto sched = MakeScheduler(config.scheduler, config.orion);
+    auto sched = MakeScheduler(config.scheduler, config.orion, config.time_quantum);
     sched->set_telemetry(config.telemetry);
     std::vector<core::SchedClientInfo> infos;
     for (int i = 0; i < num_clients; ++i) {
@@ -202,12 +217,42 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       infos.push_back(std::move(info));
     }
     sched->Attach(&sim, rt.get(), infos);
+    if (paging) {
+      // Created after Attach so scheduler stream ids match a non-paging run
+      // exactly (the inertness property: a fitting collocation with paging
+      // enabled is bit-identical to one without).
+      pager = std::make_unique<memsub::UnifiedMemoryPager>(&sim, &rt->device(), config.paging,
+                                                           config.telemetry);
+      // Pinned clients claim their frames first so unpinned pre-warm can
+      // never steal them.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < num_clients; ++i) {
+          const ClientConfig& cc = config.clients[static_cast<std::size_t>(i)];
+          const bool pinned = config.paging.pin_high_priority && cc.high_priority;
+          if ((pass == 0) != pinned) {
+            continue;
+          }
+          // Training state mutates every iteration: its evictions pay a
+          // writeback. Inference state is read-only.
+          pager->RegisterClient(i, workloads::WorkloadName(cc.workload),
+                                state[static_cast<std::size_t>(i)], pinned,
+                                cc.workload.task == workloads::TaskType::kTraining,
+                                cc.paging_ws_fraction);
+        }
+      }
+      if (auto* tq = dynamic_cast<baselines::TimeQuantumScheduler*>(sched.get())) {
+        tq->set_pager(pager.get());
+      }
+    }
     const DurationUs overhead =
         config.launch_overhead_us * sched->HostOverheadMultiplier(num_clients);
     for (int i = 0; i < num_clients; ++i) {
       drivers.push_back(std::make_unique<ClientDriver>(
           &sim, sched.get(), i, config.clients[static_cast<std::size_t>(i)], config.device,
           overhead, root_rng.Fork(i + 1), swap_bytes[static_cast<std::size_t>(i)]));
+      if (pager != nullptr) {
+        drivers.back()->set_pager(pager.get());
+      }
     }
     runtimes.push_back(std::move(rt));
     schedulers.push_back(std::move(sched));
@@ -228,7 +273,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       (void)key;
       injector->RegisterProfile(profile.get());
     }
-    injector->set_client_fault_handler([&drivers](const fault::FaultEvent& event) {
+    injector->set_client_fault_handler([&drivers, &pager](const fault::FaultEvent& event) {
       for (auto& driver : drivers) {
         if (driver->id() != event.client) {
           continue;
@@ -237,6 +282,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
           driver->Hang(event.runaway_us);
         } else {
           driver->Crash();
+        }
+        if (pager != nullptr) {
+          // Dead process: its pages free immediately (host copy wins).
+          pager->ReleaseClient(static_cast<int>(event.client));
         }
         return;
       }
@@ -250,23 +299,42 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     driver->set_measure_from(measure_from);
     driver->Start();
   }
+  std::unique_ptr<telemetry::StreamingExporter> streamer;
+  if (config.telemetry != nullptr && config.telemetry_flush.period_us > 0.0) {
+    streamer = std::make_unique<telemetry::StreamingExporter>(&sim, config.telemetry,
+                                                              config.telemetry_flush);
+    streamer->Start();
+  }
   sim.RunUntil(horizon);
+  if (streamer != nullptr) {
+    streamer->Stop();
+  }
 
   // --- Collect. ---
   ExperimentResult result;
   result.scheduler_name = SchedulerKindName(config.scheduler);
   result.window_us = config.duration_us;
   result.memory_deficit_bytes = memory_deficit;
-  result.swapping_active = memory_deficit > 0;
+  result.swapping_active = memory_deficit > 0 && !paging;
+  result.paging_active = pager != nullptr;
+  if (pager != nullptr) {
+    result.paging = pager->totals();
+  }
+  result.telemetry_flushes = streamer != nullptr ? streamer->flushes() : 0;
   for (auto& driver : drivers) {
     ClientResult cr;
     cr.name = driver->name();
     cr.high_priority = driver->config().high_priority;
     cr.completed = driver->completed_measured();
+    cr.completed_total = driver->completed_total();
     cr.throughput_rps = static_cast<double>(cr.completed) / UsToSec(config.duration_us);
     cr.latency = driver->latencies();
     cr.queueing = driver->queueing();
     cr.service = driver->service();
+    if (pager != nullptr) {
+      cr.page_faults = pager->client_faults(static_cast<int>(driver->id()));
+      cr.page_stall_us = pager->client_stall_us(static_cast<int>(driver->id()));
+    }
     result.clients.push_back(std::move(cr));
   }
   // Utilization of the shared device (or the high-priority client's device
@@ -291,6 +359,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     if (const auto* orion = dynamic_cast<const core::OrionScheduler*>(sched.get())) {
       result.clients_quarantined += orion->clients_quarantined();
       result.runaway_quarantines += orion->runaway_quarantines();
+    }
+    if (const auto* tq = dynamic_cast<const baselines::TimeQuantumScheduler*>(sched.get())) {
+      result.tq_exclusive_entries = tq->exclusive_entries();
+      result.tq_quanta = tq->quanta_granted();
+      result.tq_exclusive_us = tq->exclusive_us();
     }
   }
 

@@ -13,12 +13,15 @@
 #include <string>
 #include <vector>
 
+#include "src/baselines/time_quantum.h"
 #include "src/core/orion_scheduler.h"
 #include "src/core/scheduler.h"
 #include "src/fault/fault_plan.h"
 #include "src/gpusim/utilization.h"
 #include "src/harness/client_driver.h"
+#include "src/memsub/pager.h"
 #include "src/profiler/profiler.h"
+#include "src/telemetry/exporters.h"
 #include "src/telemetry/telemetry.h"
 
 namespace orion {
@@ -35,18 +38,35 @@ enum class SchedulerKind {
   kReef,
   kTickTock,
   kOrion,
+  kTimeQuantum,  // nvshare-style: MPS-like sharing + exclusive quanta on thrash
 };
 
 const char* SchedulerKindName(SchedulerKind kind);
 
-std::unique_ptr<core::Scheduler> MakeScheduler(SchedulerKind kind,
-                                               const core::OrionOptions& orion_options);
+std::unique_ptr<core::Scheduler> MakeScheduler(
+    SchedulerKind kind, const core::OrionOptions& orion_options,
+    const baselines::TimeQuantumOptions& tq_options = {});
 
 struct ExperimentConfig {
   gpusim::DeviceSpec device = gpusim::DeviceSpec::V100_16GB();
   SchedulerKind scheduler = SchedulerKind::kOrion;
   core::OrionOptions orion;
+  baselines::TimeQuantumOptions time_quantum;
   std::vector<ClientConfig> clients;
+
+  // Unified-memory paging (src/memsub). When enabled on a shared-GPU run,
+  // every client's model state is registered with a page-granular pager
+  // instead of the closed-form §5.1.3 swap admission: requests fault their
+  // working set in on demand, paging traffic rides the real copy engine, and
+  // oversubscribed collocations are admitted rather than rejected. Inert
+  // when the collocation fits (no faults, bit-identical results). Ignored
+  // for Dedicated/MIG (each client owns its device's memory).
+  memsub::PagingOptions paging;
+
+  // Streaming telemetry export: when `telemetry` is set and period_us > 0,
+  // the trace/metrics artefacts are rewritten every period of *simulated*
+  // time during the run (see telemetry::StreamingExporter).
+  telemetry::StreamingExporter::Options telemetry_flush;
 
   DurationUs warmup_us = SecToUs(1.0);
   DurationUs duration_us = SecToUs(20.0);  // measurement window after warmup
@@ -72,12 +92,16 @@ struct ClientResult {
   std::string name;
   bool high_priority = false;
   std::size_t completed = 0;       // completions inside the measurement window
+  std::size_t completed_total = 0;  // including warmup (pager cross-checks)
   double throughput_rps = 0.0;     // requests (or iterations) per second
   LatencyRecorder latency;         // µs, measurement window only
   // latency = queueing (waiting at the client behind earlier requests)
   //         + service (first submission to completion on the device).
   LatencyRecorder queueing;
   LatencyRecorder service;
+  // Unified-memory paging telemetry (zero when paging is off).
+  std::uint64_t page_faults = 0;
+  DurationUs page_stall_us = 0.0;
 };
 
 struct ExperimentResult {
@@ -96,6 +120,17 @@ struct ExperimentResult {
   std::size_t clients_quarantined = 0;    // crash + runaway quarantines (Orion)
   std::size_t runaway_quarantines = 0;    // watchdog-detected hangs (Orion)
   std::size_t memory_used_end_bytes = 0;  // live device memory at the horizon
+
+  // Unified-memory paging accounting (all zero when config.paging.enabled
+  // was false or the run was Dedicated/MIG).
+  bool paging_active = false;             // pager constructed for this run
+  memsub::PagingTotals paging;            // run-level fault/eviction totals
+  // nvshare-TQ introspection (zero for other schedulers).
+  std::size_t tq_exclusive_entries = 0;
+  std::size_t tq_quanta = 0;
+  DurationUs tq_exclusive_us = 0.0;
+  // Streaming telemetry flushes performed during the run.
+  std::size_t telemetry_flushes = 0;
 
   const ClientResult& hp() const;
   double TotalThroughput() const;

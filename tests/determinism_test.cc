@@ -7,11 +7,16 @@
 // carried between runs.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "src/datacenter/cluster.h"
 #include "src/fault/fault_plan.h"
 #include "src/harness/experiment.h"
 #include "src/harness/multi_gpu.h"
 #include "src/serving/serving.h"
+#include "src/telemetry/exporters.h"
 #include "src/trace/request_rates.h"
 
 namespace orion {
@@ -90,6 +95,91 @@ TEST(DeterminismTest, SameSeedFaultedExperimentIsBitIdentical) {
     EXPECT_DOUBLE_EQ(a.clients[i].throughput_rps, b.clients[i].throughput_rps) << i;
   }
   EXPECT_DOUBLE_EQ(a.utilization.sm_busy, b.utilization.sm_busy);
+}
+
+// Runs `config` with a tracing hub attached and returns the serialized
+// telemetry artefacts (metrics CSV, Chrome trace).
+std::pair<std::string, std::string> TelemetryExports(const ExperimentConfig& config) {
+  telemetry::Hub hub;
+  hub.EnableTracing();
+  ExperimentConfig instrumented = config;
+  instrumented.telemetry = &hub;
+  RunExperiment(instrumented);
+  std::ostringstream csv;
+  telemetry::WriteMetricsCsv(hub.metrics(), csv);
+  std::ostringstream trace;
+  telemetry::WriteChromeTrace(hub, trace);
+  return {csv.str(), trace.str()};
+}
+
+// Writes `content` next to the test binary's temp dir and returns the path
+// (for the tools/trace_diff.py hint below).
+std::string DumpArtefact(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream os(path);
+  os << content;
+  return path;
+}
+
+// Exported telemetry is part of the determinism contract: the exporters
+// print with fixed precision, so two same-seed runs must serialize byte for
+// byte. On divergence the failure output points at tools/trace_diff.py,
+// which reports the first differing metric row / trace event.
+TEST(DeterminismTest, SameSeedTelemetryExportIsByteIdentical) {
+  const ExperimentConfig config = FaultedConfig();
+  const auto [csv_a, trace_a] = TelemetryExports(config);
+  const auto [csv_b, trace_b] = TelemetryExports(config);
+  if (csv_a != csv_b) {
+    const std::string path_a = DumpArtefact("metrics_a.csv", csv_a);
+    const std::string path_b = DumpArtefact("metrics_b.csv", csv_b);
+    ADD_FAILURE() << "same-seed metrics exports diverged; find the first row with:\n"
+                  << "  python3 tools/trace_diff.py " << path_a << " " << path_b;
+  }
+  if (trace_a != trace_b) {
+    const std::string path_a = DumpArtefact("trace_a.json", trace_a);
+    const std::string path_b = DumpArtefact("trace_b.json", trace_b);
+    ADD_FAILURE() << "same-seed trace exports diverged; find the first event with:\n"
+                  << "  python3 tools/trace_diff.py " << path_a << " " << path_b;
+  }
+}
+
+// Unified-memory paging (src/memsub) rides the same discrete-event clock:
+// an oversubscribed, thrashing collocation must replay bit-identically,
+// fault counts and paged bytes included.
+TEST(DeterminismTest, SameSeedOversubscribedPagingRunIsBitIdentical) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kTimeQuantum;
+  config.warmup_us = SecToUs(0.3);
+  config.duration_us = SecToUs(1.5);
+  ClientConfig hp;
+  hp.workload = MakeWorkload(ModelId::kResNet50, TaskType::kTraining);
+  hp.high_priority = true;
+  ClientConfig be;
+  be.workload = MakeWorkload(ModelId::kResNet101, TaskType::kTraining);
+  config.clients = {hp, be};
+  config.paging.enabled = true;
+  const std::size_t aggregate = workloads::ApproxModelStateBytes(hp.workload) +
+                                workloads::ApproxModelStateBytes(be.workload);
+  config.device.memory_bytes = aggregate / 2;  // 2x oversubscribed
+
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+  ASSERT_GT(a.paging.faults, 0u);  // the run actually pages
+  EXPECT_EQ(a.paging.faults, b.paging.faults);
+  EXPECT_EQ(a.paging.evictions, b.paging.evictions);
+  EXPECT_EQ(a.paging.writebacks, b.paging.writebacks);
+  EXPECT_EQ(a.paging.fault_bytes_h2d, b.paging.fault_bytes_h2d);
+  EXPECT_EQ(a.paging.writeback_bytes_d2h, b.paging.writeback_bytes_d2h);
+  EXPECT_DOUBLE_EQ(a.paging.stall_us, b.paging.stall_us);
+  EXPECT_EQ(a.tq_exclusive_entries, b.tq_exclusive_entries);
+  EXPECT_EQ(a.tq_quanta, b.tq_quanta);
+  EXPECT_DOUBLE_EQ(a.tq_exclusive_us, b.tq_exclusive_us);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_EQ(a.clients[i].completed_total, b.clients[i].completed_total) << i;
+    EXPECT_EQ(a.clients[i].page_faults, b.clients[i].page_faults) << i;
+    EXPECT_DOUBLE_EQ(a.clients[i].page_stall_us, b.clients[i].page_stall_us) << i;
+  }
 }
 
 TEST(DeterminismTest, DifferentSeedFaultedExperimentDiffers) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two telemetry exports and report the first divergence.
+
+Same-seed runs of the simulator are bit-identical, and the exporters
+(src/telemetry/exporters.cc) print with fixed precision — so two exports of
+the same run must match byte for byte. When a determinism test or bench
+reports DIVERGED, re-run both arms with --metrics-out / --trace-out and feed
+the artefacts to this tool to see *where* the timelines split:
+
+    python3 tools/trace_diff.py run_a_metrics.csv run_b_metrics.csv
+    python3 tools/trace_diff.py run_a_trace.json  run_b_trace.json
+
+Metrics CSVs are compared row by row (first differing metric row wins).
+Chrome traces are parsed and compared event by event, so the report names
+the first event whose name/timestamp/track/args differ — usually the moment
+the event orderings forked, which points at the nondeterministic subsystem.
+
+Exit status: 0 identical, 1 diverged, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"trace_diff: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_lines(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def diff_csv(path_a, path_b):
+    """Line-oriented diff for metrics CSVs; returns True when identical."""
+    lines_a = load_lines(path_a)
+    lines_b = load_lines(path_b)
+    for i, (a, b) in enumerate(zip(lines_a, lines_b), start=1):
+        if a != b:
+            print(f"first divergence at line {i}:")
+            print(f"  {path_a}: {a}")
+            print(f"  {path_b}: {b}")
+            return False
+    if len(lines_a) != len(lines_b):
+        longer, shorter = (path_a, path_b) if len(lines_a) > len(lines_b) else (path_b, path_a)
+        extra = max(len(lines_a), len(lines_b)) - min(len(lines_a), len(lines_b))
+        line = (lines_a if len(lines_a) > len(lines_b) else lines_b)[min(len(lines_a), len(lines_b))]
+        print(f"{shorter} ends after line {min(len(lines_a), len(lines_b))}; "
+              f"{longer} has {extra} extra line(s), first:")
+        print(f"  {line}")
+        return False
+    print(f"identical: {len(lines_a)} lines")
+    return True
+
+
+def event_key(event):
+    """Human-readable one-line summary of a trace event."""
+    parts = [f"ts={event.get('ts')}", f"ph={event.get('ph')}",
+             f"pid={event.get('pid')}", f"name={event.get('name')!r}"]
+    if "dur" in event:
+        parts.append(f"dur={event['dur']}")
+    if "args" in event:
+        parts.append(f"args={json.dumps(event['args'], sort_keys=True)}")
+    return " ".join(parts)
+
+
+def diff_trace(path_a, path_b):
+    """Event-oriented diff for Chrome/Perfetto traces; True when identical."""
+    events = []
+    for path in (path_a, path_b):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot parse {path} as a Chrome trace: {e}")
+        if isinstance(data, dict):  # object-with-traceEvents form
+            data = data.get("traceEvents", [])
+        if not isinstance(data, list):
+            fail(f"{path}: expected a JSON array of trace events")
+        events.append(data)
+    events_a, events_b = events
+    for i, (a, b) in enumerate(zip(events_a, events_b)):
+        if a != b:
+            print(f"first divergence at event index {i} "
+                  f"(of {len(events_a)} vs {len(events_b)}):")
+            print(f"  {path_a}: {event_key(a)}")
+            print(f"  {path_b}: {event_key(b)}")
+            for field in sorted(set(a) | set(b)):
+                if a.get(field) != b.get(field):
+                    print(f"  field {field!r}: {a.get(field)!r} != {b.get(field)!r}")
+            return False
+    if len(events_a) != len(events_b):
+        longer = events_a if len(events_a) > len(events_b) else events_b
+        which = path_a if len(events_a) > len(events_b) else path_b
+        i = min(len(events_a), len(events_b))
+        print(f"event counts differ: {len(events_a)} vs {len(events_b)}; "
+              f"first extra event in {which}:")
+        print(f"  {event_key(longer[i])}")
+        return False
+    print(f"identical: {len(events_a)} events")
+    return True
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail("usage: trace_diff.py <export_a> <export_b> "
+             "(two metrics CSVs or two Chrome trace JSONs)")
+    path_a, path_b = argv[1], argv[2]
+    is_json = path_a.endswith(".json") or path_b.endswith(".json")
+    if not is_json:
+        # Sniff: a Chrome trace starts with '['; a metrics CSV with a header.
+        head = load_lines(path_a)[:1]
+        is_json = bool(head) and head[0].lstrip().startswith("[")
+    identical = diff_trace(path_a, path_b) if is_json else diff_csv(path_a, path_b)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
