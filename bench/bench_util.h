@@ -37,6 +37,8 @@ struct BenchArgs {
   double window_scale = 1.0; // --window-scale=X: multiply both windows by X
   std::string trace_out;     // --trace-out=P: write a Chrome/Perfetto trace
   std::string metrics_out;   // --metrics-out=P: write a metrics CSV snapshot
+  std::string attr_out;      // --attr-out=P: write the per-service latency
+                             // attribution (SLO blame ledger) as CSV
   double flush_period_ms = 0.0;  // --flush-period-ms=X: stream exports during
                                  // the run every X ms of sim time (0 = only
                                  // at the end)
@@ -74,6 +76,10 @@ inline void ParseBenchArgs(int* argc, char** argv) {
       args.metrics_out = std::string(arg.substr(14));
     } else if (arg == "--metrics-out" && i + 1 < *argc) {
       args.metrics_out = argv[++i];
+    } else if (arg.rfind("--attr-out=", 0) == 0) {
+      args.attr_out = std::string(arg.substr(11));
+    } else if (arg == "--attr-out" && i + 1 < *argc) {
+      args.attr_out = argv[++i];
     } else if (arg.rfind("--flush-period-ms=", 0) == 0) {
       args.flush_period_ms = std::strtod(argv[i] + 18, nullptr);
       if (args.flush_period_ms < 0.0) {
@@ -83,12 +89,15 @@ inline void ParseBenchArgs(int* argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "Usage: " << argv[0]
                 << " [--quick] [--seed=N] [--window-scale=X]"
-                   " [--trace-out=P] [--metrics-out=P] [--flush-period-ms=X]\n"
+                   " [--trace-out=P] [--metrics-out=P] [--attr-out=P]"
+                   " [--flush-period-ms=X]\n"
                 << "  --quick           ~8x shorter measurement windows (CI smoke)\n"
                 << "  --seed=N          experiment seed (default 42)\n"
                 << "  --window-scale=X  multiply warmup+measurement windows by X\n"
                 << "  --trace-out=P     write a Chrome/Perfetto trace of one run to P\n"
                 << "  --metrics-out=P   write that run's metrics snapshot as CSV to P\n"
+                << "  --attr-out=P      write that run's per-service latency attribution\n"
+                   "                    (SLO-miss blame ledger) as CSV to P\n"
                 << "  --flush-period-ms=X  also rewrite those artefacts every X ms of\n"
                    "                    simulated time during the run (streaming export)\n";
       std::exit(0);
@@ -106,8 +115,12 @@ inline void ParseBenchArgs(int* argc, char** argv) {
 // run one arm with a telemetry hub attached.
 inline bool TelemetryRequested() {
   const BenchArgs& args = GlobalBenchArgs();
-  return !args.trace_out.empty() || !args.metrics_out.empty();
+  return !args.trace_out.empty() || !args.metrics_out.empty() || !args.attr_out.empty();
 }
+
+// True when --attr-out was given: the instrumented arm should also call
+// Hub::EnableAttribution() so per-request latency ledgers are kept.
+inline bool AttributionRequested() { return !GlobalBenchArgs().attr_out.empty(); }
 
 // Writes the hub's trace/metrics to the --trace-out / --metrics-out paths
 // (whichever were given) and prints where they went. Call once, after the
@@ -122,6 +135,11 @@ inline void ExportTelemetry(telemetry::Hub& hub) {
   if (!args.metrics_out.empty()) {
     telemetry::ExportMetricsCsv(hub.metrics(), args.metrics_out);
     std::cout << "wrote metrics: " << args.metrics_out << "\n";
+  }
+  if (!args.attr_out.empty()) {
+    attribution::ExportAttributionCsv(hub.attribution(), args.attr_out);
+    std::cout << "wrote attribution: " << args.attr_out
+              << " (render with tools/attribution_report.py)\n";
   }
 }
 

@@ -164,6 +164,9 @@ void TelemetryArm() {
   if (!bench::GlobalBenchArgs().trace_out.empty()) {
     hub.EnableTracing();
   }
+  if (bench::AttributionRequested()) {
+    hub.EnableAttribution();
+  }
   serving::ServingConfig config = BaseConfig(120.0, /*continuous=*/true);
   config.telemetry = &hub;
   const serving::ServingResult result = serving::RunServing(config);

@@ -261,6 +261,9 @@ int main(int argc, char** argv) {
     if (!bench::GlobalBenchArgs().trace_out.empty()) {
       hub.EnableTracing();
     }
+    if (bench::AttributionRequested()) {
+      hub.EnableAttribution();
+    }
     const Mix mix = Mixes().front();
     const std::size_t aggregate = RoundUpToPages(workloads::ApproxModelStateBytes(mix.hp.workload)) +
                                   RoundUpToPages(workloads::ApproxModelStateBytes(mix.be.workload));

@@ -92,6 +92,8 @@ void OrionScheduler::Attach(Simulator* sim, runtime::GpuRuntime* rt,
       be.id = client.id;
       be.profile = client.profile;
       be.stream = rt_->CreateStream(gpusim::kPriorityDefault);
+      be.collocated_us = (hub_ != nullptr ? hub_->metrics() : local_metrics_)
+                             .GetCounter("orion.collocated_be_us", {{"client", client.name}});
       be_clients_.push_back(std::move(be));
     }
   }
@@ -312,6 +314,11 @@ void OrionScheduler::SubmitBe(BeClient& be, SchedOp op) {
       ViewOf(op.op, be.profile, rt_->device().spec(), options_.conservative_profile_miss)
           .duration_us;
   const double trusted = ProfileCovers(op.op, be.profile) ? expected : 0.0;
+  if (hp_outstanding_ > 0) {
+    // Submitted alongside outstanding hp work: this is the dispatch decision
+    // the hp tenant's kInterference phase traces back to.
+    be.collocated_us->Inc(expected);
+  }
   be_duration_ += expected;
   be.outstanding_us += expected;
   be.outstanding_trusted_us += trusted;

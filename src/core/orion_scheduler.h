@@ -115,6 +115,12 @@ class OrionScheduler : public Scheduler {
     ClientId id = 0;
     gpusim::StreamId stream = gpusim::kInvalidStream;
     const profiler::WorkloadProfile* profile = nullptr;
+    // Dispatch record for latency attribution: expected µs of this client's
+    // kernels submitted while high-priority work was outstanding — the
+    // scheduler's own account of how much best-effort time it chose to
+    // overlap with the hp tenant (the "who to blame" input for the
+    // kInterference phase). Labelled per client in the hub registry.
+    telemetry::Counter* collocated_us = nullptr;
     std::deque<SchedOp> queue;
     bool quarantined = false;
     // Expected µs of this client's submitted-but-not-completed kernels; the

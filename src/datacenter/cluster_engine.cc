@@ -8,6 +8,7 @@
 #include "src/datacenter/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -151,6 +152,12 @@ class ClusterEngine : public NodeHost {
   }
   std::size_t gpu_memory_bytes() const override { return config_.device.memory_bytes; }
 
+  bool attribution() const override {
+    // Queried by NodeEngine at construction (before BindTelemetry), so it
+    // reads the config directly instead of the cached attr_.
+    return config_.telemetry != nullptr && config_.telemetry->attribution_enabled();
+  }
+
   void OnBatchServed(NodeEngine& node, Replica& r) override {
     const TimeUs now = sim_.now();
     ModelState& model = *models_[r.model];
@@ -274,6 +281,8 @@ class ClusterEngine : public NodeHost {
     // "#<index>" suffix when two services share a workload.
     std::string label;
     telemetry::TrackId track = -1;  // per-request span track; -1 = tracing off
+    // Hub-owned blame aggregate; bound only when attribution is enabled.
+    attribution::ServiceAttribution* attr = nullptr;
 
     // All counters are registry instruments labeled {service=label}, bound
     // in BindTelemetry — the registry is the source of truth the
@@ -340,6 +349,7 @@ class ClusterEngine : public NodeHost {
     hub_ = config_.telemetry;
     metrics_ = hub_ != nullptr ? &hub_->metrics() : &local_metrics_;
     const bool tracing = hub_ != nullptr && hub_->tracing();
+    attr_ = hub_ != nullptr && hub_->attribution_enabled();
     for (std::size_t m = 0; m < models_.size(); ++m) {
       ModelState& model = *models_[m];
       model.label = workloads::WorkloadName(model.cfg.workload);
@@ -374,6 +384,10 @@ class ClusterEngine : public NodeHost {
       }
       if (tracing) {
         model.track = hub_->spans().Track("service:" + model.label);
+      }
+      if (attr_) {
+        model.attr = &hub_->attribution().Service(model.label);
+        model.attr->set_tier(serving::PriorityTierName(model.cfg.tier));
       }
     }
     scale_ups_ = metrics_->GetCounter("serving.scale_ups");
@@ -452,6 +466,9 @@ class ClusterEngine : public NodeHost {
       // Per-token SLOs supersede slo_us: the deadline admission gates on and
       // EDF queues order by is the TTFT deadline.
       request.deadline_us = now + llm.ttft_slo_us;
+    }
+    if (attr_) {
+      request.ledger.Begin(now);
     }
     model.total_offered->Inc();
     ++model.w_arrivals;
@@ -639,6 +656,11 @@ class ClusterEngine : public NodeHost {
       requests_forwarded_c_->Inc();
     }
     request.node = node;
+    if (attr_) {
+      // Closes whatever came before (fresh admission: a zero-width kQueue;
+      // limbo drain: the limbo wait; failover: kPreempt) and opens the wire.
+      request.ledger.Advance(sim_.now(), attribution::Phase::kNetRequest);
+    }
     NetOp op;
     op.kind = NetOp::Kind::kRequest;
     op.node = node;
@@ -654,6 +676,9 @@ class ClusterEngine : public NodeHost {
     op.kind = NetOp::Kind::kResponse;
     op.node = node;
     op.request = request;
+    if (attr_) {
+      op.request.ledger.Advance(sim_.now(), attribution::Phase::kNetResponse);
+    }
     op.replica_id = replica_id;
     op.gpu = gpu_global;
     op.batch_start = batch_start;
@@ -725,6 +750,41 @@ class ClusterEngine : public NodeHost {
                        static_cast<double>(request.target_tokens)
                  : 0.0;
       met = ttft <= model.cfg.llm.ttft_slo_us && tpot <= model.cfg.llm.tpot_slo_us;
+    }
+    if (attr_ && request.ledger.active()) {
+      // Finalize a local copy (the caller's request is const): close the open
+      // phase at completion and enforce the sum identity. Every interval
+      // between ledger marks was charged to exactly one phase, so the
+      // residual is FP rounding only — a violation means an engine path
+      // dropped or double-counted time.
+      attribution::LatencyLedger ledger = request.ledger;
+      const DurationUs e2e = complete_us - request.arrival_us;
+      const DurationUs residual = ledger.Finalize(request.arrival_us, complete_us);
+      ORION_CHECK_MSG(std::abs(residual) <= 1e-3 + 1e-6 * e2e,
+                      "latency ledger identity violated: residual "
+                          << residual << "us over e2e " << e2e << "us (request "
+                          << request.id << ")");
+      if (model.llm_cost != nullptr && !ledger.ttft_marked()) {
+        // Request-level LLM batching delivers the batch at once; interpolate
+        // the first token inside the execute span, mirroring first_token_us.
+        const TimeUs exec_begin = request.start_service_us;
+        const DurationUs exec_span = exec_end - exec_begin;
+        const double frac = exec_span > 0.0
+                                ? (request.first_token_us - exec_begin) / exec_span
+                                : 1.0;
+        ledger.SynthesizeFirstToken(frac);
+      }
+      if (InWindow(complete_us)) {
+        model.attr->RecordE2e(ledger.phases(), e2e, !met);
+        if (model.llm_cost != nullptr) {
+          double ttft_phases[attribution::kNumPhases];
+          double tpot_phases[attribution::kNumPhases];
+          ledger.SplitTtft(ttft_phases, tpot_phases);
+          model.attr->RecordTtft(ttft_phases, ttft, ttft > model.cfg.llm.ttft_slo_us);
+          model.attr->RecordTpot(tpot_phases, complete_us - request.first_token_us,
+                                 tpot > model.cfg.llm.tpot_slo_us);
+        }
+      }
     }
     if (met) {
       ++model.w_slo_met;
@@ -833,6 +893,9 @@ class ClusterEngine : public NodeHost {
     }
     r.state = Replica::State::kActive;
     r.active_since = sim_.now();
+    if (attr_) {
+      r.idle_since = sim_.now();  // the idle clock starts with the replica
+    }
     ModelState& model = *models_[r.model];
     Mark("replica-active", {{"service", model.label},
                             {"replica", std::to_string(id)},
@@ -1000,6 +1063,12 @@ class ClusterEngine : public NodeHost {
   void RehomeOrphan(std::size_t m, Request request, bool was_running) {
     ModelState& model = *models_[m];
     ++request.failovers;
+    if (attr_) {
+      // Whatever leg the orphan was on when its replica/node died (wire,
+      // queue already closed by KillReplica) ends here; everything until it
+      // lands somewhere new — re-forward, limbo — is preemption fallout.
+      request.ledger.Advance(sim_.now(), attribution::Phase::kPreempt);
+    }
     if (InWindow(sim_.now())) {
       model.failed_over->Inc();
     }
@@ -1231,6 +1300,7 @@ class ClusterEngine : public NodeHost {
   telemetry::Hub* hub_ = nullptr;
   telemetry::MetricRegistry local_metrics_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  bool attr_ = false;  // hub attribution enabled (BindTelemetry)
   telemetry::TrackId control_track_ = -1;
   std::vector<telemetry::TrackId> gpu_tracks_;  // by global GPU index
   telemetry::Counter* scale_ups_ = nullptr;

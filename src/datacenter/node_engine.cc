@@ -13,7 +13,17 @@ NodeEngine::NodeEngine(int node_id, int num_gpus, NodeHost* host)
     : node_id_(node_id), host_(host) {
   ORION_CHECK(num_gpus >= 1);
   ORION_CHECK(host != nullptr);
+  attr_ = host->attribution();
   gpus_.resize(static_cast<std::size_t>(num_gpus));
+}
+
+void NodeEngine::SyncIdle(Replica& r) {
+  if (!r.busy &&
+      (r.state == Replica::State::kActive || r.state == Replica::State::kDraining)) {
+    const TimeUs now = host_->sim().now();
+    r.idle_accum_us += now - r.idle_since;
+    r.idle_since = now;
+  }
 }
 
 void NodeEngine::MarkDead() {
@@ -77,6 +87,7 @@ int NodeEngine::CreateReplica(int id, std::size_t model, int local_gpu, bool act
   if (active) {
     r.state = Replica::State::kActive;
     r.active_since = now;
+    r.idle_since = now;
   } else {
     r.state = Replica::State::kProvisioning;
   }
@@ -85,6 +96,12 @@ int NodeEngine::CreateReplica(int id, std::size_t model, int local_gpu, bool act
 
 void NodeEngine::EnqueueAt(int slot, serving::Request request) {
   Replica& r = replicas_[static_cast<std::size_t>(slot)];
+  if (attr_) {
+    // Close the wire (or failover) interval and open kQueue; the idle
+    // snapshot lets LeaveQueue split the wait into linger vs capacity.
+    SyncIdle(r);
+    request.ledger.EnterQueue(host_->sim().now(), r.idle_accum_us);
+  }
   r.batcher.Enqueue(std::move(request), host_->sim().now());
   TryDispatch(slot);
 }
@@ -123,13 +140,22 @@ void NodeEngine::StartBatch(int slot) {
     return;
   }
   const TimeUs now = host_->sim().now();
+  if (attr_) {
+    SyncIdle(r);
+  }
   r.batcher.TakeBatchInto(&r.in_flight);  // reuses the replica's buffer
   for (serving::Request& request : r.in_flight) {
     request.start_service_us = now;
+    if (attr_) {
+      request.ledger.LeaveQueue(now, r.idle_accum_us, attribution::Phase::kExecute);
+    }
   }
   const int batch = static_cast<int>(r.in_flight.size());
-  const DurationUs service =
-      host_->model_cost(r.model).BatchServiceUs(batch) * Slowdown(r);
+  const DurationUs iso_us = host_->model_cost(r.model).BatchServiceUs(batch);
+  const DurationUs service = iso_us * Slowdown(r);
+  if (attr_) {
+    r.batch_iso_us = iso_us;
+  }
   r.busy = true;
   r.batch_start = now;
   r.busy_until = now + service;
@@ -142,6 +168,13 @@ void NodeEngine::OnBatchComplete(int slot) {
   const TimeUs now = host_->sim().now();
   ++batches_served_;
   requests_served_ += r.in_flight.size();
+  if (attr_) {
+    // Split the batch's service time into its isolated price (kExecute) and
+    // the collocation stall (kInterference) before the host finalizes.
+    for (serving::Request& request : r.in_flight) {
+      request.ledger.ChargeExecStep(now, r.batch_iso_us);
+    }
+  }
   host_->OnBatchServed(*this, r);  // reads r.in_flight / batch_start / reason
   if (r.llm != nullptr) {
     // Request-level LLM baseline: the whole batch's KV lives until the
@@ -153,6 +186,9 @@ void NodeEngine::OnBatchComplete(int slot) {
   r.busy_in_eval_window_us += now - r.batch_start;
   r.in_flight.clear();
   r.busy = false;
+  if (attr_) {
+    r.idle_since = now;
+  }
   if (r.state == Replica::State::kDraining && r.batcher.empty()) {
     RetireReplica(slot);
     return;
@@ -172,6 +208,9 @@ void NodeEngine::TryStepLlm(int slot) {
   const serving::LlmCostModel& cost = host_->model_llm_cost(r.model);
   Simulator& sim = host_->sim();
   const TimeUs now = sim.now();
+  if (attr_) {
+    SyncIdle(r);
+  }
 
   // 1. Reserve KV for the token every running sequence produces this step,
   //    preempting the newest sequence (possibly the one being extended) on
@@ -201,6 +240,11 @@ void NodeEngine::TryStepLlm(int slot) {
     }
     serving::Request seq = r.batcher.PopFront();
     seq.start_service_us = now;
+    if (attr_) {
+      // Fresh joiners close kQueue (split against linger); evicted rejoiners
+      // close kPreempt — their whole rejoin wait is recompute, not queueing.
+      seq.ledger.LeaveQueue(now, r.idle_accum_us, attribution::Phase::kExecute);
+    }
     // Fresh sequences prefill their prompt; evicted rejoiners recompute
     // prompt + generated (preemption with recompute).
     prefill_us += cost.PrefillUs(seq.prompt_tokens + seq.generated);
@@ -226,6 +270,9 @@ void NodeEngine::TryStepLlm(int slot) {
     }
     step_us += cost.DecodeStepUs(decoding, static_cast<int>(context_sum / decoding));
   }
+  if (attr_) {
+    r.batch_iso_us = step_us;  // pre-slowdown: the step's isolated price
+  }
   step_us *= Slowdown(r);
   r.busy = true;
   r.batch_start = now;
@@ -240,6 +287,13 @@ void NodeEngine::OnLlmStepComplete(int slot) {
   const TimeUs now = host_->sim().now();
   const TimeUs start = r.batch_start;
   ++batches_served_;
+  if (attr_) {
+    // Charge the step to every participant before tokens are assigned, so a
+    // first-token snapshot below sums exactly to TTFT.
+    for (serving::Request& seq : r.in_flight) {
+      seq.ledger.ChargeExecStep(now, r.batch_iso_us);
+    }
+  }
   // Every sequence in the step emitted exactly one token: joiners their
   // first (from the prefill; rejoiners their next, the recompute re-derived
   // the earlier ones), running sequences their next from the decode step.
@@ -249,6 +303,9 @@ void NodeEngine::OnLlmStepComplete(int slot) {
     const bool joined = i >= n - static_cast<std::size_t>(st.joined_this_step);
     if (joined && seq.first_token_us < 0.0) {
       seq.first_token_us = now;
+      if (attr_) {
+        seq.ledger.MarkFirstToken();
+      }
     } else {
       ++seq.generated;
     }
@@ -257,6 +314,9 @@ void NodeEngine::OnLlmStepComplete(int slot) {
   st.joined_this_step = 0;
   r.busy_in_eval_window_us += now - start;
   r.busy = false;
+  if (attr_) {
+    r.idle_since = now;
+  }
   // Finished sequences leave the iteration and release their KV.
   for (std::size_t i = 0; i < r.in_flight.size();) {
     if (r.in_flight[i].generated >= r.in_flight[i].target_tokens) {
@@ -285,6 +345,11 @@ void NodeEngine::PreemptNewestLlm(int slot) {
     r.llm->kv.Free(seq.id);
   }
   ++seq.evictions;
+  if (attr_) {
+    // Requeue bypasses EnqueueAt, so the rejoin wait stays open on kPreempt
+    // until the sequence rejoins a step (recompute wait, not queueing).
+    seq.ledger.Advance(host_->sim().now(), attribution::Phase::kPreempt);
+  }
   host_->OnKvEviction(*this, r, seq);
   r.batcher.Requeue(std::move(seq));
 }
@@ -294,6 +359,9 @@ void NodeEngine::StartLlmBatch(int slot) {
   Replica::LlmState& st = *r.llm;
   const serving::LlmCostModel& cost = host_->model_llm_cost(r.model);
   const TimeUs now = host_->sim().now();
+  if (attr_) {
+    SyncIdle(r);
+  }
   const serving::BatchingConfig& batching = host_->batching_config();
   const int take = batching.enabled ? batching.max_batch_size : 1;
   r.in_flight.clear();
@@ -305,7 +373,11 @@ void NodeEngine::StartLlmBatch(int slot) {
     if (!st.kv.TryReserve(head.id, full)) {
       break;
     }
-    r.in_flight.push_back(r.batcher.PopFront());
+    serving::Request seq = r.batcher.PopFront();
+    if (attr_) {
+      seq.ledger.LeaveQueue(now, r.idle_accum_us, attribution::Phase::kExecute);
+    }
+    r.in_flight.push_back(std::move(seq));
   }
   // A free replica's cache is empty, and one full sequence always fits.
   ORION_CHECK(!r.in_flight.empty());
@@ -314,8 +386,16 @@ void NodeEngine::StartLlmBatch(int slot) {
   for (serving::Request& seq : r.in_flight) {
     seq.start_service_us = now;
     // All prefills run up front; every first token lands when they finish.
-    seq.first_token_us = now + breakdown.prefill_us * slowdown;
+    // A first token already delivered (failover orphan re-served after its
+    // replica died mid-decode) stays delivered: re-prefilling recomputes
+    // context the client has already streamed past.
+    if (seq.first_token_us < 0.0) {
+      seq.first_token_us = now + breakdown.prefill_us * slowdown;
+    }
     seq.generated = seq.target_tokens;  // the batch runs to completion
+  }
+  if (attr_) {
+    r.batch_iso_us = breakdown.total_us;
   }
   const DurationUs service = breakdown.total_us * slowdown;
   r.busy = true;
@@ -360,9 +440,26 @@ std::vector<serving::Request> NodeEngine::KillReplica(int slot) {
   Simulator& sim = host_->sim();
   sim.Cancel(r.completion);
   sim.Cancel(r.linger);
+  if (attr_) {
+    SyncIdle(r);
+    const TimeUs now = sim.now();
+    // In-flight work dies with the replica: the partial batch/step time the
+    // orphans already spent is wasted, so it reclassifies as kPreempt (not
+    // execute), and the open phase stays kPreempt through re-routing.
+    for (serving::Request& request : r.in_flight) {
+      request.ledger.AdvanceInto(now, attribution::Phase::kPreempt,
+                                 attribution::Phase::kPreempt);
+    }
+  }
   std::vector<serving::Request> orphans = std::move(r.in_flight);
   r.in_flight.clear();
   for (serving::Request& request : r.batcher.Drain()) {
+    if (attr_) {
+      // Queued orphans close their queue wait here; the re-route leg that
+      // follows is preemption fallout, not fresh queueing.
+      request.ledger.LeaveQueue(sim.now(), r.idle_accum_us,
+                                attribution::Phase::kPreempt);
+    }
     orphans.push_back(std::move(request));
   }
   if (r.llm != nullptr) {

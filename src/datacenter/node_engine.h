@@ -69,6 +69,15 @@ struct Replica {
   EventHandle linger;
   TimeUs active_since = 0.0;
   double busy_in_eval_window_us = 0.0;  // autoscaler utilization signal
+
+  // Latency-attribution bookkeeping (only maintained when the host reports
+  // attribution() — zero work otherwise). batch_iso_us is the in-flight
+  // batch/step's isolated-roofline cost (pre-slowdown), the kExecute price;
+  // idle_accum_us/idle_since integrate the replica's idle time so the ledger
+  // can split queue wait into capacity-bound kQueue vs linger (DESIGN.md §15).
+  double batch_iso_us = 0.0;
+  double idle_accum_us = 0.0;
+  TimeUs idle_since = 0.0;
 };
 
 struct GpuShard {
@@ -120,6 +129,11 @@ class NodeHost {
   // A replica stopped running (retired or killed) after being active since
   // `active_since`; the host integrates replica-seconds.
   virtual void AccountReplicaTime(TimeUs active_since) = 0;
+
+  // Whether per-request latency attribution is enabled for this run
+  // (telemetry hub with EnableAttribution). Constant over the engine's
+  // lifetime; when false the engine never touches request ledgers.
+  virtual bool attribution() const = 0;
 };
 
 class NodeEngine {
@@ -191,10 +205,14 @@ class NodeEngine {
   void StartLlmBatch(int slot);
   void RetireReplica(int slot);
   void ReleaseFromGpu(int slot);
+  // Folds [idle_since, now] into idle_accum_us for a non-busy replica.
+  // Attribution-only bookkeeping; callers guard on attr_.
+  void SyncIdle(Replica& r);
 
   int node_id_;
   bool alive_ = true;
   NodeHost* host_;
+  bool attr_ = false;  // host_->attribution(), cached at construction
   std::vector<GpuShard> gpus_;
   std::deque<Replica> replicas_;  // stable addresses; indexed by slot
   std::size_t batches_served_ = 0;

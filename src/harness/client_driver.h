@@ -20,6 +20,7 @@
 #include "src/common/stats.h"
 #include "src/core/scheduler.h"
 #include "src/memsub/pager.h"
+#include "src/telemetry/attribution/report.h"
 #include "src/trace/arrivals.h"
 #include "src/workloads/models.h"
 
@@ -54,6 +55,10 @@ struct ClientConfig {
   // request only faults on its hot set — params + live activations.
   // Negative inherits PagingOptions::working_set_fraction.
   double paging_ws_fraction = -1.0;
+
+  // Per-request latency SLO for attribution's miss accounting (DESIGN.md
+  // §15). 0 disables: every request records phases but no blame.
+  DurationUs slo_us = 0.0;
 };
 
 class ClientDriver {
@@ -71,6 +76,15 @@ class ClientDriver {
   // set — faulted pages stall the request (counted as service time) until
   // their PCIe fault-in transfers land. Call before Start().
   void set_pager(memsub::UnifiedMemoryPager* pager) { pager_ = pager; }
+
+  // Latency attribution (DESIGN.md §15): when a sink is set, every measured
+  // completion decomposes into queue / paging / execute / interference
+  // phases and is recorded there. The isolated per-request cost (from the
+  // run's isolated profile) prices the kExecute phase; anything above it in
+  // the post-queue, post-paging window is interference. Call before Start().
+  void set_attribution(attribution::ServiceAttribution* sink) { attribution_ = sink; }
+  void set_isolated_request_us(DurationUs us) { isolated_request_us_ = us; }
+  std::size_t slo_misses() const { return slo_misses_; }
 
   // --- Fault injection (src/fault). ---
   // Process death: no further arrivals, submissions, or latency records.
@@ -131,6 +145,11 @@ class ClientDriver {
   TimeUs current_start_ = 0.0;
   std::size_t completed_total_ = 0;
   std::size_t completed_measured_ = 0;
+
+  attribution::ServiceAttribution* attribution_ = nullptr;
+  DurationUs isolated_request_us_ = 0.0;
+  DurationUs current_paging_us_ = 0.0;  // fault stall of the current request
+  std::size_t slo_misses_ = 0;
 };
 
 }  // namespace harness

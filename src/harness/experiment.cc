@@ -152,6 +152,36 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
   }
 
+  // --- Per-client telemetry labels. Collocations of one model against
+  // itself are common (hp + be copies of the same workload): suffix
+  // duplicates so clients never merge. Shared by the attribution sinks and
+  // the result-mirror step below.
+  std::vector<std::string> client_labels(config.clients.size());
+  for (std::size_t c = 0; c < config.clients.size(); ++c) {
+    const ClientConfig& cc = config.clients[c];
+    client_labels[c] = workloads::WorkloadName(cc.workload) +
+                       (cc.high_priority ? "/hp" : "/be");
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      if (client_labels[prev] == client_labels[c]) {
+        client_labels[c] += "#" + std::to_string(c);
+        break;
+      }
+    }
+  }
+  const bool attr =
+      config.telemetry != nullptr && config.telemetry->attribution_enabled();
+  const auto bind_attribution = [&](ClientDriver& driver, std::size_t c) {
+    const ClientConfig& cc = config.clients[c];
+    driver.set_isolated_request_us(
+        profiles.at(workloads::WorkloadName(cc.workload))->request_latency_us);
+    if (attr) {
+      attribution::ServiceAttribution& sink =
+          config.telemetry->attribution().Service(client_labels[c]);
+      sink.set_tier(cc.high_priority ? "hp" : "be");
+      driver.set_attribution(&sink);
+    }
+  };
+
   // --- Online phase. ---
   Simulator sim;
   std::vector<std::unique_ptr<runtime::GpuRuntime>> runtimes;
@@ -195,6 +225,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       drivers.push_back(std::make_unique<ClientDriver>(&sim, sched.get(), i, cc, per_client,
                                                        config.launch_overhead_us,
                                                        root_rng.Fork(i + 1)));
+      bind_attribution(*drivers.back(), static_cast<std::size_t>(i));
       runtimes.push_back(std::move(rt));
       schedulers.push_back(std::move(sched));
     }
@@ -250,6 +281,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       drivers.push_back(std::make_unique<ClientDriver>(
           &sim, sched.get(), i, config.clients[static_cast<std::size_t>(i)], config.device,
           overhead, root_rng.Fork(i + 1), swap_bytes[static_cast<std::size_t>(i)]));
+      bind_attribution(*drivers.back(), static_cast<std::size_t>(i));
       if (pager != nullptr) {
         drivers.back()->set_pager(pager.get());
       }
@@ -331,6 +363,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     cr.latency = driver->latencies();
     cr.queueing = driver->queueing();
     cr.service = driver->service();
+    cr.slo_misses = driver->slo_misses();
     if (pager != nullptr) {
       cr.page_faults = pager->client_faults(static_cast<int>(driver->id()));
       cr.page_stall_us = pager->client_stall_us(static_cast<int>(driver->id()));
@@ -374,16 +407,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     telemetry::MetricRegistry& reg = config.telemetry->metrics();
     for (std::size_t c = 0; c < result.clients.size(); ++c) {
       const ClientResult& cr = result.clients[c];
-      // Collocations of one model against itself are common (hp + be copies
-      // of the same workload): suffix duplicates so clients never merge.
-      std::string label = cr.name;
-      for (std::size_t prev = 0; prev < c; ++prev) {
-        if (result.clients[prev].name == cr.name) {
-          label += "#" + std::to_string(c);
-          break;
-        }
-      }
-      const telemetry::Labels by_client = {{"client", label}};
+      const telemetry::Labels by_client = {{"client", client_labels[c]}};
       reg.GetCounter("harness.completed", by_client)
           ->Inc(static_cast<double>(cr.completed));
       reg.GetGauge("harness.throughput_rps", by_client)->Set(cr.throughput_rps);

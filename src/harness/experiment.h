@@ -99,6 +99,8 @@ struct ClientResult {
   //         + service (first submission to completion on the device).
   LatencyRecorder queueing;
   LatencyRecorder service;
+  // Requests over ClientConfig::slo_us in the window (0 when no SLO is set).
+  std::size_t slo_misses = 0;
   // Unified-memory paging telemetry (zero when paging is off).
   std::uint64_t page_faults = 0;
   DurationUs page_stall_us = 0.0;

@@ -107,6 +107,11 @@ bool UnifiedMemoryPager::EvictLru() {
   return dirty;
 }
 
+void UnifiedMemoryPager::Access(int client, std::function<void(DurationUs)> done) {
+  const TimeUs start = sim_->now();
+  Access(client, [this, start, done = std::move(done)]() { done(sim_->now() - start); });
+}
+
 void UnifiedMemoryPager::Access(int client, std::function<void()> done) {
   auto it = clients_.find(client);
   ORION_CHECK_MSG(it != clients_.end(), "unregistered pager client " << client);

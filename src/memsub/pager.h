@@ -102,6 +102,12 @@ class UnifiedMemoryPager {
   // non-pinned page; dirty victims enqueue writeback traffic first.
   void Access(int client, std::function<void()> done);
 
+  // Timed variant for latency attribution: `done` receives the access's
+  // fault stall (0 when nothing faulted). A thin wrapper over Access — it
+  // adds no events and perturbs nothing, so instrumented runs stay
+  // bit-identical to uninstrumented ones.
+  void Access(int client, std::function<void(DurationUs stall_us)> done);
+
   // Process exit / crash: every page of `client` is released (frames free
   // immediately; dirty pages are dropped — the host copy is authoritative
   // for a dead process). Subsequent Access calls for it are no-ops.

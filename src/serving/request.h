@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/common/time_types.h"
+#include "src/telemetry/attribution/ledger.h"
 
 namespace orion {
 namespace serving {
@@ -73,6 +74,11 @@ struct Request {
   int generated = 0;           // decode tokens produced so far
   int evictions = 0;           // KV-pressure preemptions (recompute on rejoin)
   TimeUs first_token_us = -1.0;  // TTFT landmark; < 0 until the first token
+
+  // Per-request latency attribution (DESIGN.md §15). Inert unless the run's
+  // telemetry hub has attribution enabled; the engines drive its phase
+  // transitions and finalize it at completion.
+  attribution::LatencyLedger ledger;
 };
 
 }  // namespace serving

@@ -1,0 +1,97 @@
+#include "src/telemetry/attribution/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace attribution {
+namespace {
+
+// Fixed-precision, locale-independent formatting; same rationale as the
+// other telemetry exporters (byte-stable CSVs across same-seed runs).
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return std::string(buf);
+}
+
+void WriteScope(std::ostream& out, const std::string& service, const std::string& tier,
+                const char* scope, const ScopeStats& stats) {
+  if (stats.count == 0) return;
+  out << service << ',' << tier << ',' << scope << ",total," << stats.count << ','
+      << Num(stats.total.mean() * static_cast<double>(stats.count)) << ','
+      << Num(stats.total.mean()) << ',' << Num(stats.total.p50()) << ','
+      << Num(stats.total.p95()) << ',' << Num(stats.total.p99()) << ',' << stats.misses
+      << '\n';
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const Phase p = PhaseFromIndex(i);
+    out << service << ',' << tier << ',' << scope << ',' << PhaseName(p) << ','
+        << stats.count << ',' << Num(stats.phase_sum_us[i]) << ','
+        << Num(stats.phase_sum_us[i] / static_cast<double>(stats.count)) << ','
+        << Num(stats.phase[i].p50()) << ',' << Num(stats.phase[i].p95()) << ','
+        << Num(stats.phase[i].p99()) << ',' << stats.blame[i] << '\n';
+  }
+}
+
+}  // namespace
+
+Phase DominantPhase(const double phases[kNumPhases]) {
+  Phase best = Phase::kExecute;
+  double best_us = 0.0;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const Phase p = PhaseFromIndex(i);
+    if (p == Phase::kExecute) continue;
+    if (phases[i] > best_us) {
+      best_us = phases[i];
+      best = p;
+    }
+  }
+  return best;
+}
+
+void ScopeStats::Record(const double phases[kNumPhases], double total_us, bool miss) {
+  ++count;
+  total.Add(total_us);
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    phase[i].Add(phases[i]);
+    phase_sum_us[i] += phases[i];
+  }
+  if (miss) {
+    ++misses;
+    ++blame[PhaseIndex(DominantPhase(phases))];
+  }
+}
+
+Phase ScopeStats::DominantBlame() const {
+  Phase best = Phase::kExecute;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (blame[i] > best_count) {
+      best_count = blame[i];
+      best = PhaseFromIndex(i);
+    }
+  }
+  return best;
+}
+
+void WriteAttributionCsv(const AttributionRegistry& registry, std::ostream& out) {
+  out << "service,tier,scope,phase,count,sum_us,mean_us,p50_us,p95_us,p99_us,"
+         "blame_misses\n";
+  for (const auto& [service, attr] : registry.services()) {
+    WriteScope(out, service, attr.tier(), "e2e", attr.e2e());
+    WriteScope(out, service, attr.tier(), "ttft", attr.ttft());
+    WriteScope(out, service, attr.tier(), "tpot", attr.tpot());
+  }
+}
+
+void ExportAttributionCsv(const AttributionRegistry& registry, const std::string& path) {
+  std::ofstream os(path);
+  ORION_CHECK_MSG(os.good(), "cannot open attribution output file " << path);
+  WriteAttributionCsv(registry, os);
+  ORION_CHECK_MSG(os.good(), "failed writing attribution to " << path);
+}
+
+}  // namespace attribution
+}  // namespace orion

@@ -19,6 +19,7 @@
 #define SRC_TELEMETRY_TELEMETRY_H_
 
 #include "src/gpusim/trace_export.h"
+#include "src/telemetry/attribution/report.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span_tracer.h"
 
@@ -45,11 +46,22 @@ class Hub {
   void EnableTracing() { tracing_ = true; }
   bool tracing() const { return tracing_; }
 
+  attribution::AttributionRegistry& attribution() { return attribution_; }
+  const attribution::AttributionRegistry& attribution() const { return attribution_; }
+
+  // Per-request latency attribution is opt-in like tracing: when disabled the
+  // engines never touch a request's LatencyLedger, so runs stay bit-identical
+  // to an uninstrumented build at zero cost.
+  void EnableAttribution() { attribution_enabled_ = true; }
+  bool attribution_enabled() const { return attribution_enabled_; }
+
  private:
   MetricRegistry metrics_;
   SpanTracer spans_;
   gpusim::TraceCollector kernels_;
+  attribution::AttributionRegistry attribution_;
   bool tracing_ = false;
+  bool attribution_enabled_ = false;
 };
 
 }  // namespace telemetry

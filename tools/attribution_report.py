@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Render a latency-attribution CSV (bench --attr-out) as blame tables.
+
+Usage:
+    attribution_report.py ATTR.csv [--top=N] [--check]
+
+The CSV comes from attribution::ExportAttributionCsv (DESIGN.md §15): one
+row per (service, scope, phase) plus a phase="total" row per scope carrying
+the scope's overall latency distribution and SLO-miss count. Scopes are
+"e2e" for every service, plus "ttft"/"tpot" for LLM services.
+
+Default output: per (service, scope), the total line and the top-N phases by
+time share, with each phase's share of total time and of SLO-miss blame.
+
+--check validates the export instead of rendering it (CI runs this on the
+smoke artefacts):
+  * the header matches the schema exactly;
+  * every phase name is known and every scope has exactly one row per phase;
+  * each scope has a total row, and the per-phase sums add up to the total
+    row's sum within FP-formatting tolerance (the ledger identity surviving
+    aggregation and %.6g export).
+
+Exit status: 0 OK, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import csv
+import sys
+
+HEADER = [
+    "service", "tier", "scope", "phase", "count", "sum_us", "mean_us",
+    "p50_us", "p95_us", "p99_us", "blame_misses",
+]
+
+PHASES = [
+    "queue", "linger", "net_request", "net_response", "execute",
+    "interference", "paging", "preempt", "residual",
+]
+
+
+def load(path):
+    try:
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader, None)
+            rows = list(reader)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        sys.exit(2)
+    return header, rows
+
+
+def group_scopes(rows):
+    """-> {(service, tier, scope): {phase: row-dict}}"""
+    scopes = {}
+    for row in rows:
+        entry = dict(zip(HEADER, row))
+        key = (entry["service"], entry["tier"], entry["scope"])
+        scopes.setdefault(key, {})[entry["phase"]] = entry
+    return scopes
+
+
+def check(header, rows):
+    failures = []
+    if header != HEADER:
+        failures.append(f"header mismatch: {header}")
+    for row in rows:
+        if len(row) != len(HEADER):
+            failures.append(f"short row: {row}")
+    scopes = group_scopes(rows)
+    if not scopes:
+        failures.append("no data rows")
+    for (service, _, scope), phases in scopes.items():
+        where = f"{service}/{scope}"
+        if "total" not in phases:
+            failures.append(f"{where}: missing total row")
+            continue
+        unknown = set(phases) - set(PHASES) - {"total"}
+        if unknown:
+            failures.append(f"{where}: unknown phases {sorted(unknown)}")
+        missing = set(PHASES) - set(phases)
+        if missing:
+            failures.append(f"{where}: missing phases {sorted(missing)}")
+            continue
+        total = float(phases["total"]["sum_us"])
+        phase_sum = sum(float(phases[p]["sum_us"]) for p in PHASES)
+        # %.6g keeps ~6 significant digits per term; allow that much slack.
+        tol = 1e-3 + 1e-4 * max(abs(total), abs(phase_sum))
+        if abs(total - phase_sum) > tol:
+            failures.append(
+                f"{where}: phase sums {phase_sum:.6g}us != total {total:.6g}us")
+        blame = sum(int(phases[p]["blame_misses"]) for p in PHASES)
+        misses = int(phases["total"]["blame_misses"])
+        if blame != misses:
+            failures.append(
+                f"{where}: blame counts {blame} != total misses {misses}")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        return 1
+    services = len({key[0] for key in scopes})
+    print(f"OK {len(scopes)} scope(s) across {services} service(s) validated")
+    return 0
+
+
+def render(rows, top):
+    scopes = group_scopes(rows)
+    for (service, tier, scope) in sorted(scopes):
+        phases = scopes[(service, tier, scope)]
+        total = phases.get("total")
+        if total is None:
+            continue
+        total_sum = float(total["sum_us"])
+        misses = int(total["blame_misses"])
+        print(f"\n{service} [{tier}] {scope}: {total['count']} requests, "
+              f"{misses} SLO misses, mean {float(total['mean_us']) / 1e3:.2f} ms, "
+              f"p99 {float(total['p99_us']) / 1e3:.2f} ms")
+        ranked = sorted(
+            (p for p in PHASES if p in phases),
+            key=lambda p: float(phases[p]["sum_us"]),
+            reverse=True)
+        shown = 0
+        for phase in ranked:
+            entry = phases[phase]
+            share = float(entry["sum_us"]) / total_sum if total_sum > 0 else 0.0
+            blame = int(entry["blame_misses"])
+            blame_share = blame / misses if misses > 0 else 0.0
+            if shown >= top and blame == 0:
+                continue
+            print(f"  {phase:<13} {share:7.1%} of time   "
+                  f"p99 {float(entry['p99_us']) / 1e3:8.2f} ms   "
+                  f"blame {blame:5d} ({blame_share:.0%} of misses)")
+            shown += 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render or validate a latency-attribution CSV")
+    parser.add_argument("csv_path", help="CSV written by --attr-out")
+    parser.add_argument("--top", type=int, default=4,
+                        help="phases to show per scope (default 4; "
+                             "phases with blame always show)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate schema and sum identities instead of rendering")
+    args = parser.parse_args()
+    header, rows = load(args.csv_path)
+    if args.check:
+        sys.exit(check(header, rows))
+    render(rows, args.top)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
