@@ -42,6 +42,9 @@ struct BenchArgs {
   double flush_period_ms = 0.0;  // --flush-period-ms=X: stream exports during
                                  // the run every X ms of sim time (0 = only
                                  // at the end)
+  int lp_threads = 1;  // --lp-threads=N: parallel LP simulation for the
+                       // datacenter-capable benches (N worker threads; 1 =
+                       // sequential). Results are bit-identical at any N.
 };
 
 inline BenchArgs& GlobalBenchArgs() {
@@ -80,6 +83,12 @@ inline void ParseBenchArgs(int* argc, char** argv) {
       args.attr_out = std::string(arg.substr(11));
     } else if (arg == "--attr-out" && i + 1 < *argc) {
       args.attr_out = argv[++i];
+    } else if (arg.rfind("--lp-threads=", 0) == 0) {
+      args.lp_threads = static_cast<int>(std::strtol(argv[i] + 13, nullptr, 10));
+      if (args.lp_threads < 1) {
+        std::cerr << "--lp-threads must be >= 1\n";
+        std::exit(2);
+      }
     } else if (arg.rfind("--flush-period-ms=", 0) == 0) {
       args.flush_period_ms = std::strtod(argv[i] + 18, nullptr);
       if (args.flush_period_ms < 0.0) {
@@ -90,7 +99,7 @@ inline void ParseBenchArgs(int* argc, char** argv) {
       std::cout << "Usage: " << argv[0]
                 << " [--quick] [--seed=N] [--window-scale=X]"
                    " [--trace-out=P] [--metrics-out=P] [--attr-out=P]"
-                   " [--flush-period-ms=X]\n"
+                   " [--flush-period-ms=X] [--lp-threads=N]\n"
                 << "  --quick           ~8x shorter measurement windows (CI smoke)\n"
                 << "  --seed=N          experiment seed (default 42)\n"
                 << "  --window-scale=X  multiply warmup+measurement windows by X\n"
@@ -99,7 +108,10 @@ inline void ParseBenchArgs(int* argc, char** argv) {
                 << "  --attr-out=P      write that run's per-service latency attribution\n"
                    "                    (SLO-miss blame ledger) as CSV to P\n"
                 << "  --flush-period-ms=X  also rewrite those artefacts every X ms of\n"
-                   "                    simulated time during the run (streaming export)\n";
+                   "                    simulated time during the run (streaming export)\n"
+                << "  --lp-threads=N    run multi-node simulations as N parallel logical\n"
+                   "                    processes (datacenter-capable benches; results are\n"
+                   "                    bit-identical to --lp-threads=1)\n";
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       argv[kept++] = argv[i];  // google-benchmark flag: leave for the caller
@@ -110,6 +122,10 @@ inline void ParseBenchArgs(int* argc, char** argv) {
   }
   *argc = kept;
 }
+
+// Worker threads for the parallel LP simulation (datacenter-capable benches
+// pass this through to ClusterConfig::lp_threads; 1 = sequential engine).
+inline int LpThreads() { return GlobalBenchArgs().lp_threads; }
 
 // True when --trace-out or --metrics-out was given, i.e. the bench should
 // run one arm with a telemetry hub attached.

@@ -1,0 +1,43 @@
+#include "src/datacenter/lp_runtime.h"
+
+#include <algorithm>
+
+namespace orion {
+namespace datacenter {
+
+std::vector<TimeUs> BuildStaticTimes(const fault::FaultPlan& plan,
+                                     const serving::AutoscalerConfig& autoscaler,
+                                     TimeUs horizon) {
+  std::vector<TimeUs> statics;
+  for (const fault::FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case fault::FaultKind::kGpuDown:
+      case fault::FaultKind::kClientCrash:
+      case fault::FaultKind::kNodeDown:
+        // The fault kinds the cluster engine arms (others are skipped at arm
+        // time and never become events). Beyond the horizon they never run.
+        if (event.at_us <= horizon) {
+          statics.push_back(event.at_us);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (autoscaler.enabled) {
+    // Reproduce the sequential ScheduleAfter chain bit for bit: each eval
+    // schedules the next `period` after its own (exact) event time.
+    TimeUs t = 0.0 + autoscaler.eval_period_us;
+    while (t <= horizon) {
+      statics.push_back(t);
+      t = t + autoscaler.eval_period_us;
+    }
+  }
+  statics.push_back(horizon);
+  std::sort(statics.begin(), statics.end());
+  statics.erase(std::unique(statics.begin(), statics.end()), statics.end());
+  return statics;
+}
+
+}  // namespace datacenter
+}  // namespace orion

@@ -1,0 +1,139 @@
+// Shared pieces of the parallel LP runtime (DESIGN.md §16).
+//
+// The cluster engine partitions a multi-node run into logical processes: one
+// LP per NodeEngine (its own Simulator, NIC fabric and event loop on a worker
+// thread) plus the cluster LP (arrivals, admission, routing, autoscaler,
+// faults) on the calling thread. LPs exchange timestamped messages over
+// SpscQueue pairs and synchronize with the conservative clock protocol in
+// src/sim/lp.h; the cross-LP lookahead is the NIC setup latency.
+//
+// This header holds the data-plane types both sides share:
+//   * LpClockBlock — the per-node publication block of the clock protocol.
+//   * WireMsg / NodeMsg — the inter-LP message formats (flat structs with a
+//     kind tag; every variant is timestamped with its virtual arrival time).
+//   * MirrorReplica — the cluster's eventually-consistent copy of one node
+//     replica's routing-visible state, refreshed by kMirror deltas and by a
+//     full resync at every static rendezvous.
+//   * BuildStaticTimes — the control-time rendezvous schedule.
+#ifndef SRC_DATACENTER_LP_RUNTIME_H_
+#define SRC_DATACENTER_LP_RUNTIME_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/datacenter/node_engine.h"
+#include "src/fault/fault_plan.h"
+#include "src/serving/autoscaler.h"
+#include "src/serving/request.h"
+#include "src/serving/router.h"
+#include "src/sim/lp.h"
+
+namespace orion {
+namespace datacenter {
+
+// One node LP's shared clock-protocol state. The node thread publishes
+// send_lb then in_acked (release); the cluster publishes wire_lb then
+// out_acked (release). Readers load the ack first (acquire), prune their
+// send ledger, then load the clock — the acquire on the ack guarantees the
+// clock read is at least as fresh as the acknowledgement it covers, and a
+// fresher clock is always safe because each side folds its own un-acked
+// sends into the value it publishes.
+struct LpClockBlock {
+  // Node -> cluster: lower bound on any stamp this node may still push.
+  sim::AtomicTime send_lb;
+  // Node -> cluster: how many inbox (wire) messages the node has popped.
+  std::atomic<std::size_t> in_acked{0};
+  // Cluster -> node: bound below which the node may freely execute.
+  sim::AtomicTime wire_lb;
+  // Cluster -> node: how many outbox messages the cluster has popped.
+  std::atomic<std::size_t> out_acked{0};
+  // Node -> cluster: the static time the node is parked at (-1 = running;
+  // statics are >= 0, so -1 never collides with a real park time).
+  sim::AtomicTime parked_at;
+  // Node -> cluster: the node ran everything up to the horizon and exited.
+  std::atomic<bool> done{false};
+
+  LpClockBlock() { parked_at.Store(-1.0); }
+};
+
+// The cluster's routing-visible snapshot of one replica: exactly the fields
+// PickNode / BuildNodeViews / the autoscaler read through NodeEngine.
+struct MirrorReplica {
+  Replica::State state = Replica::State::kProvisioning;
+  bool busy = false;
+  TimeUs busy_until = 0.0;
+  std::size_t queued = 0;     // batcher depth
+  std::size_t in_flight = 0;  // requests in the executing batch
+};
+
+// Cluster -> node. Requests and state transfers carry the post-setup wire
+// payload: the stamp is send time + NIC latency, and the node starts the
+// streaming phase of the transfer at the stamp on its own fabric
+// (Fabric::StartTransferNoSetup), which is observably identical to the
+// sequential single-fabric timeline. kActivate carries a provisioning
+// completion (stamped at the cluster-side activation time) so the node's
+// replica flips active at the exact sequential instant.
+struct WireMsg {
+  enum class Kind : std::uint8_t { kRequest, kState, kActivate };
+  Kind kind = Kind::kRequest;
+  TimeUs stamp = 0.0;       // virtual arrival time at the node
+  std::uint64_t op_id = 0;  // cluster NetOp id (kRequest / kState)
+  std::size_t bytes = 0;    // payload bytes still to stream
+  int slot = -1;            // node-local replica slot (kState / kActivate)
+  serving::Request request;                    // kRequest payload
+  std::optional<serving::RouteReason> forced;  // kRequest routing override
+};
+
+// Node -> cluster. Everything the sequential engine observed synchronously
+// from node-side execution, re-expressed as a timestamped event: mirror
+// deltas, network-leg completions, window counters, and per-request
+// completions. Push order within one node event matches the sequential
+// callback order, and the cluster applies messages in (stamp, node,
+// arrival-sequence) order.
+struct NodeMsg {
+  enum class Kind : std::uint8_t {
+    kMirror,             // slot's routing-visible state changed
+    kWireDone,           // request wire leg fully streamed (op_id)
+    kStateDone,          // state-transfer leg fully streamed (op_id)
+    kOrphan,             // delivered request found no active replica
+    kResponsesStarted,   // node put `count` responses of `model` on the wire
+    kBatchStats,         // request-level batch window counters
+    kDecodeStep,         // continuous-batching iteration window counters
+    kKvEvict,            // KV eviction (window counter)
+    kRetire,             // replica retired: account active time
+    kResponseDone,       // response reached the front-end: complete request
+  };
+  Kind kind = Kind::kMirror;
+  TimeUs stamp = 0.0;
+  int slot = -1;            // kMirror
+  MirrorReplica mirror;     // kMirror
+  std::uint64_t op_id = 0;  // kWireDone / kStateDone
+  int model = -1;           // kOrphan / kResponsesStarted / kBatchStats / ...
+  int count = 0;            // kResponsesStarted / batch size
+  int prefills = 0;         // kDecodeStep
+  double llm_tokens = 0.0;  // kBatchStats: sum of 1 + target over the batch
+  TimeUs t0 = 0.0;          // kRetire active_since / kResponseDone batch_start
+  TimeUs t1 = 0.0;          // kResponseDone batch_end (exec end)
+  int replica_id = -1;      // kResponseDone
+  int gpu = -1;             // kResponseDone: global GPU of the server
+  serving::Request request;  // kOrphan / kResponseDone payload
+};
+
+// Control-time rendezvous schedule: the sorted, unique times at which the
+// cluster must see exact node state (fault application, autoscaler
+// evaluations) plus the horizon as the final barrier. Autoscaler eval times
+// are accumulated with the exact floating-point recurrence the sequential
+// engine produces (t += period from 0), so the rendezvous instants are
+// bit-identical to the sequential event times.
+std::vector<TimeUs> BuildStaticTimes(const fault::FaultPlan& plan,
+                                     const serving::AutoscalerConfig& autoscaler,
+                                     TimeUs horizon);
+
+}  // namespace datacenter
+}  // namespace orion
+
+#endif  // SRC_DATACENTER_LP_RUNTIME_H_

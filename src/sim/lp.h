@@ -1,0 +1,102 @@
+// Conservative parallel-DES building blocks: the LP clock protocol.
+//
+// A logical process (LP) owns one Simulator and exchanges timestamped
+// messages with its peers over SpscQueue pairs (src/sim/spsc.h). The
+// synchronization is classic conservative (null-message/LBTS) lookahead,
+// arranged so that the common case needs no message round-trips at all:
+//
+//   * Every LP publishes a clock: a lower bound on the timestamp of any
+//     message it may still PUSH in the future. For an LP whose sends happen
+//     only while executing events, that bound is simply its next event time
+//     (Simulator::NextEventTime()), published AFTER draining its inboxes —
+//     so everything it will do earlier is already scheduled.
+//   * A message in flight can wake the receiver below its published clock,
+//     so the published clock alone is not a safe bound for the PEER. The
+//     sender closes that hole locally: it remembers the stamps of its own
+//     un-acknowledged sends, and the safe bound it computes for a peer is
+//         min(peer published clock, min un-acked stamp sent to that peer).
+//     The ack is an explicit atomic counter the consumer publishes AFTER its
+//     clock (not the queue's head index): reading the queue head directly
+//     could pair a fresh pop with a stale clock that predates the pop's
+//     effects, overshooting the bound. With ack-after-clock publication and
+//     ack-before-clock reads, the clock a reader sees is always at least as
+//     fresh as the ack it pruned with. No +lookahead self-reference, hence
+//     no null-message creep: an idle fleet converges in one publication per
+//     LP.
+//   * Lookahead enters once, at the topology edge that has real latency:
+//     a cluster-side event at time t reaches a node no earlier than
+//     t + L (the NIC setup latency), so a node may run up to
+//     (cluster safe bound) + L, exclusive.
+//
+// Publication order matters and is fixed: push sends (release via the
+// queue) -> publish clock (release) -> publish ack (release). Readers load
+// ack (acquire) -> clock (acquire) -> drain. See DESIGN.md §16 for the full
+// safety argument.
+#ifndef SRC_SIM_LP_H_
+#define SRC_SIM_LP_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "src/common/time_types.h"
+
+namespace orion {
+namespace sim {
+
+// Lock-free published TimeUs (doubles are not atomic; the bits are).
+class AtomicTime {
+ public:
+  AtomicTime() { Store(0.0); }
+
+  void Store(TimeUs t) {
+    bits_.store(std::bit_cast<std::uint64_t>(t), std::memory_order_release);
+  }
+  TimeUs Load() const {
+    return std::bit_cast<TimeUs>(bits_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_;
+};
+
+// Producer-side ledger of un-acknowledged sends on one directed edge.
+// Record(stamp) before every TryPush; Prune(acked) with the consumer's
+// published ack counter; MinUnackedStamp() joins the peer's published clock
+// in the safe-bound computation.
+class EdgeLedger {
+ public:
+  void Record(TimeUs stamp) { stamps_.push_back(stamp); ++pushed_; }
+
+  void Prune(std::size_t acked) {
+    while (base_ < acked && !stamps_.empty()) {
+      stamps_.pop_front();
+      ++base_;
+    }
+  }
+
+  TimeUs MinUnackedStamp() const {
+    // Stamps are pushed in event order, which is non-decreasing in time for
+    // an LP that only sends at its current event time — but control-plane
+    // replays may interleave, so scan. The deque is almost always tiny.
+    TimeUs min_stamp = std::numeric_limits<TimeUs>::infinity();
+    for (const TimeUs s : stamps_) {
+      min_stamp = s < min_stamp ? s : min_stamp;
+    }
+    return min_stamp;
+  }
+
+  std::size_t pushed() const { return pushed_; }
+
+ private:
+  std::deque<TimeUs> stamps_;
+  std::size_t base_ = 0;    // sends already acknowledged
+  std::size_t pushed_ = 0;  // sends ever recorded
+};
+
+}  // namespace sim
+}  // namespace orion
+
+#endif  // SRC_SIM_LP_H_

@@ -1,0 +1,89 @@
+// Single-producer single-consumer queue for inter-LP messages.
+//
+// The parallel LP runtime (src/sim/lp.h, src/datacenter/lp_runtime.h) wires
+// every pair of communicating logical processes with two of these — one per
+// direction — so no queue ever has more than one writer or one reader and
+// the whole exchange needs nothing stronger than release/acquire on the
+// head/tail indices. Capacity is fixed (power of two); Push returns false
+// when full and the producer loop yields, which keeps memory bounded without
+// a lock. The consumer side exposes the count of elements ever popped so the
+// producer can prune its in-flight (un-acknowledged) message list — the LP
+// bound computation needs to know which of its sends the peer has not yet
+// folded into its published clock.
+#ifndef SRC_SIM_SPSC_H_
+#define SRC_SIM_SPSC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace orion {
+namespace sim {
+
+// Fixed rather than std::hardware_destructive_interference_size: the
+// standard constant varies with -mtune and GCC warns (-Winterference-size,
+// an error under ORION_WERROR) that it is ABI-unstable across TUs. 64 is
+// the destructive interference size on every target this builds for.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity_pow2 = 1 << 12)
+      : buffer_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    ORION_CHECK_MSG((capacity_pow2 & mask_) == 0 && capacity_pow2 >= 2,
+                    "SpscQueue capacity must be a power of two");
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. False when the ring is full (caller yields and retries);
+  // the consumer is guaranteed to drain, so this cannot deadlock as long as
+  // every LP drains its inboxes before blocking on a push.
+  bool TryPush(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) {
+      return false;
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when empty.
+  bool TryPop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  // Elements ever popped (the consumer's ack counter). Monotone; the
+  // producer reads it to prune its un-acknowledged send list.
+  std::size_t Popped() const { return head_.load(std::memory_order_acquire); }
+  // Elements ever pushed.
+  std::size_t Pushed() const { return tail_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace sim
+}  // namespace orion
+
+#endif  // SRC_SIM_SPSC_H_

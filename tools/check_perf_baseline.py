@@ -12,7 +12,18 @@ consistent drop should fail the build.
 Checks, per benchmark name present in the baseline:
   * the fresh run contains the same benchmark (a vanished benchmark is a
     regression in coverage, not just speed);
-  * fresh events_per_sec >= min_ratio * baseline events_per_sec.
+  * fresh events_per_sec >= min_ratio * baseline events_per_sec;
+  * when the baseline row records an lp_threads count, the fresh row must
+    report the same one (a parallel bench silently falling back to the
+    sequential engine is a coverage regression, even if it got faster).
+
+Plus one check on the fresh run alone: all cluster_serving_lp* rows must
+report the same `events` count. The parallel LP engine's contract is
+bit-identical results at any thread count, so the rows differ only in wall
+clock; rows disagreeing on the work completed mean determinism broke. Wall
+clock across thread counts is deliberately NOT compared — CI runners may
+have a single CPU, where the parallel rows measure synchronization overhead
+rather than speedup.
 
 Entries without an events_per_sec field (e.g. wall-clock-only rows like
 ext_online_serving_quick) are reported but never gate.
@@ -67,6 +78,12 @@ def main(argv):
             failures.append(f"{name}: missing from fresh run")
             print(f"{name:<{width}}  {'-':>14}  {'-':>14}  {'-':>6}  MISSING")
             continue
+        base_lp = base_entry.get("lp_threads")
+        fresh_lp = fresh_entry.get("lp_threads")
+        if base_lp is not None and fresh_lp != base_lp:
+            failures.append(
+                f"{name}: ran with lp_threads={fresh_lp}, baseline expects "
+                f"{base_lp} (parallel coverage regression)")
         base_rate = base_entry.get("events_per_sec")
         fresh_rate = fresh_entry.get("events_per_sec")
         if not base_rate or not fresh_rate:
@@ -84,6 +101,21 @@ def main(argv):
     new_names = sorted(set(fresh) - set(baseline))
     if new_names:
         print(f"note: benchmarks not in baseline (unchecked): {', '.join(new_names)}")
+
+    # Determinism gate on the fresh run alone: every cluster_serving_lp* row
+    # runs the exact same simulation through a different thread count, so the
+    # completed-work counters must agree bit-for-bit.
+    lp_rows = {name: entry for name, entry in fresh.items()
+               if name.startswith("cluster_serving_lp")}
+    if lp_rows:
+        counts = {name: entry.get("events") for name, entry in sorted(lp_rows.items())}
+        if len(set(counts.values())) > 1:
+            failures.append(
+                "cluster_serving_lp* rows disagree on events completed "
+                f"(parallel determinism regression): {counts}")
+        else:
+            print(f"parallel determinism: {len(lp_rows)} cluster_serving_lp* rows "
+                  f"agree on {next(iter(counts.values()))} events")
 
     if failures:
         print("\nperf baseline check FAILED:", file=sys.stderr)
